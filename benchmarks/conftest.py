@@ -1,0 +1,18 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper table/figure at ``tiny`` scale (the CLI
+regenerates them at full size: ``bigvlittle fig4 --scale small``). Simulations
+are deterministic, so a single pedantic round is measured.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a figure generator exactly once under pytest-benchmark."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

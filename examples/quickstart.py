@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one kernel on the paper's systems.
+
+Runs saxpy on a conventional big.LITTLE with an integrated vector unit
+(1bIV-4L), on big.VLITTLE (1b-4VL), and on the aggressive decoupled engine
+(1bDV), then prints the headline comparison of the paper.
+
+    python examples/quickstart.py [tiny|small|full]
+"""
+
+import sys
+
+from repro.experiments import run_pair
+from repro.workloads import get_workload
+
+
+def main():
+    scale = sys.argv[1] if len(sys.argv) > 1 else "small"
+    systems = ["1L", "1b", "1bIV", "1b-4L", "1bIV-4L", "1bDV", "1b-4VL"]
+
+    print(f"saxpy @ scale={scale}: a*X + Y over "
+          f"{get_workload('saxpy', scale).params['n']} fp32 elements\n")
+    base = None
+    for s in systems:
+        r = run_pair(s, "saxpy", scale)
+        base = base or r.stats["time_ps"]
+        speedup = base / r.stats["time_ps"]
+        print(f"  {s:8s}  {r.cycles:8d} cycles @1GHz   speedup over 1L: {speedup:5.2f}x"
+              f"   ifetch={r['fetch_requests']:6d}  data reqs={r['data_requests']:6d}")
+
+    vl = run_pair("1b-4VL", "saxpy", scale)
+    iv = run_pair("1bIV-4L", "saxpy", scale)
+    dv = run_pair("1bDV", "saxpy", scale)
+    print(f"\n  big.VLITTLE vs area-comparable big.LITTLE+IVU: "
+          f"{iv.stats['time_ps'] / vl.stats['time_ps']:.2f}x  (paper: ~1.6x geomean)")
+    print(f"  decoupled engine vs big.VLITTLE:               "
+          f"{vl.stats['time_ps'] / dv.stats['time_ps']:.2f}x  (paper: ~2x)")
+
+    print("\n  1b-4VL lane stall breakdown (Fig. 7 categories):")
+    total = sum(vl.stats[f"vlittle.lane_stall.{c}"]
+                for c in ("busy", "simd", "raw_mem", "raw_llfu", "struct", "xelem", "misc"))
+    for c in ("busy", "simd", "raw_mem", "raw_llfu", "struct", "xelem", "misc"):
+        v = vl.stats[f"vlittle.lane_stall.{c}"]
+        print(f"    {c:9s} {v / total * 100:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

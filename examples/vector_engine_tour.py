@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""A guided tour of the VLITTLE engine's micro-architecture.
+
+Builds a big.VLITTLE system directly from components, runs a small
+hand-written RVV program through it, and prints what each part of §III did:
+µop broadcast counts, VMU line requests, cross-element (ring) operations,
+cache-bank balance, and the per-lane stall breakdown.
+"""
+
+from repro.cores import BigCore, LittleCore
+from repro.mem import MemorySystem
+from repro.trace import TraceBuilder, TraceSource, VectorBuilder
+from repro.vector import VLittleEngine
+
+
+def build():
+    ms = MemorySystem(n_big=1, n_little=4)
+    littles = [LittleCore(f"lit{i}", ms.little_l1i[i], ms.little_l1d[i])
+               for i in range(4)]
+    engine = VLittleEngine(littles, chimes=2, packed=True, switch_penalty=500)
+    big = BigCore("big0", ms.big_l1i[0], ms.big_l1d[0],
+                  vector_mode="decoupled", engine=engine)
+    return ms, big, engine
+
+
+def program(vlen_bits):
+    """Dot product with a masked correction pass: touches every µop type."""
+    tb = TraceBuilder()
+    vb = VectorBuilder(tb, vlen_bits=vlen_bits)
+    x, y = 0x100000, 0x110000
+    vb.vsetvl(16, ew=4)
+    acc = vb.vmv_v_x(tb.li())
+    for base, vl in vb.strip_mine(x, 64, ew=4):
+        vx = vb.vle(base, vl=vl)
+        vy = vb.vle(y + (base - x), vl=vl)
+        m = vb.vmflt(vx, vy)                       # mask (v0)
+        vx = vb.vmerge(vy, vx, mask=m)             # masked select
+        acc = vb.vfmacc(acc, vx, vy)               # FMA accumulate
+    red = vb.vfredsum(acc)                         # ring reduction
+    result = vb.vmv_x_s(red)                       # scalar response
+    tb.addi(result)                                # big core consumes it
+    return tb.finish("dot")
+
+
+def main():
+    ms, big, engine = build()
+    trace = program(engine.vlen_bits(4))
+    big.set_source(TraceSource(trace))
+    now = 0
+    while not (big.done() and engine.idle()):
+        big.set_now_hint(now)
+        big.tick(now)
+        engine.tick(now)
+        ms.tick(now)
+        now += 1
+        if now > 200_000:
+            raise RuntimeError("did not converge")
+
+    print(f"finished in {now} cycles "
+          f"(includes the {engine.switch_penalty}-cycle mode switch)\n")
+    print(f"vector instructions dispatched : {engine.instrs}")
+    print(f"µops issued across 4 lanes     : {sum(l.uops_issued for l in engine.lanes)}")
+    print(f"VMU cache-line requests        : {engine.vmu.line_reqs}")
+    print(f"VXU ring operations            : {engine.vxu.ops_completed}")
+    accesses = [c.l1d.accesses for c in engine.cores]
+    print(f"banked L1D slice accesses      : {accesses}  (address-interleaved)")
+    print("\nper-lane cycle breakdown (Fig. 7 categories):")
+    bd = engine.breakdown()
+    total = bd.total()
+    for name, v in bd.as_dict().items():
+        print(f"  {name:9s} {v / total * 100:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim so environments without the `wheel` package can still install
+editable/legacy builds (`pip install -e .` falls back to setup.py develop)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Area: Table VI component model and the Ara-based 1bDV estimate."""
+
+from repro.area.model import (
+    AREA_KUM2,
+    ClusterArea,
+    dve_area_estimate_kge,
+    little_cluster_area,
+    system_overhead_estimate,
+    table6,
+    vlittle_cluster_area_kge,
+)
+
+__all__ = [
+    "AREA_KUM2",
+    "ClusterArea",
+    "little_cluster_area",
+    "table6",
+    "dve_area_estimate_kge",
+    "vlittle_cluster_area_kge",
+    "system_overhead_estimate",
+]

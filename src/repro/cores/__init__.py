@@ -1,0 +1,18 @@
+"""Core timing models: in-order little core and out-of-order big core."""
+
+from repro.cores.big import BigCore
+from repro.cores.branch import BimodalPredictor, GsharePredictor
+from repro.cores.fu import BIG_FU_COUNTS, DEFAULT_LATENCY, FUPool, LITTLE_FU_COUNTS, UNPIPELINED
+from repro.cores.little import LittleCore
+
+__all__ = [
+    "BigCore",
+    "LittleCore",
+    "BimodalPredictor",
+    "GsharePredictor",
+    "FUPool",
+    "BIG_FU_COUNTS",
+    "LITTLE_FU_COUNTS",
+    "DEFAULT_LATENCY",
+    "UNPIPELINED",
+]

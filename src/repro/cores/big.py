@@ -1,0 +1,517 @@
+"""Out-of-order big core.
+
+A 4-wide OoO model: fetch through the L1I into a reorder buffer, dependences
+resolved at dispatch through a last-writer map (implicit renaming — trace
+virtual registers are already SSA-like), event-driven wakeup into a ready
+queue, a functional-unit pool with two L1D ports, an in-order commit stage,
+and a post-commit store buffer. Gshare branch prediction stalls fetch on a
+mispredict until the branch resolves.
+
+Vector execution plugs in one of three ways (paper Table III):
+
+* ``vector_mode="none"`` — vector instructions are a configuration error.
+* ``vector_mode="integrated"`` — the 128-bit IVU: vector ops borrow the big
+  core's two FP pipes and its L1D ports (16 B per port access), executing
+  inside the ROB like scalar ops.
+* ``vector_mode="decoupled"`` — vector instructions wait until the head of
+  the ROB and are then handed to an attached engine (VLITTLE's VCU or the
+  aggressive decoupled engine). Instructions without a scalar result commit
+  immediately after dispatch, letting the core run far ahead; instructions
+  that produce a scalar value (``vsetvl``, ``vpopc``, ``vmv.x.s``) block
+  commit until the engine responds (paper §III-A).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.cores.branch import GsharePredictor
+from repro.cores.fu import BIG_FU_COUNTS, FUPool
+from repro.errors import ConfigError
+from repro.isa.scalar import FUClass, Op, OP_FU, OP_IS_BRANCH, OP_IS_LOAD, OP_IS_STORE
+from repro.isa.vector import VClass, VOp, VOP_CLASS, VOP_IS_LOAD, VOP_IS_STORE
+from repro.mem.message import BLOCKED, HIT
+from repro.stats.breakdown import Breakdown, Stall
+from repro.utils import ceil_div
+
+_INF = 1 << 60
+
+#: IVU cost mapping: VClass -> (FUClass, extra slots, latency key)
+_IVU_FU = {
+    VClass.CTRL: FUClass.ALU,
+    VClass.INT_SIMPLE: FUClass.FPU,  # vector ops borrow the two FP pipes
+    VClass.INT_COMPLEX: FUClass.FDIV,
+    VClass.FP: FUClass.FPU,
+    VClass.FDIV: FUClass.FDIV,
+    VClass.MASK: FUClass.FPU,
+    VClass.CROSS_PERM: FUClass.FPU,
+    VClass.CROSS_RED: FUClass.FPU,
+    VClass.MOVE: FUClass.FPU,
+    VClass.FENCE: FUClass.NONE,
+}
+
+
+class _Entry:
+    __slots__ = (
+        "ins",
+        "deps",
+        "consumers",
+        "completed",
+        "issued",
+        "dispatched",
+        "pending_chunks",
+        "is_store",
+        "is_branch",
+    )
+
+    def __init__(self, ins):
+        self.ins = ins
+        self.deps = 0
+        self.consumers = []
+        self.completed = False
+        self.issued = False
+        self.dispatched = False
+        self.pending_chunks = 0
+        self.is_store = False
+        self.is_branch = False
+
+
+class BigCore:
+    def __init__(
+        self,
+        core_id,
+        l1i,
+        l1d,
+        source=None,
+        rob_size=128,
+        width=4,
+        store_buffer_depth=8,
+        mispredict_penalty=8,
+        vector_mode="none",
+        ivu_vlen_bits=128,
+        ivu_port_bytes=16,
+        engine=None,
+        line_bytes=64,
+        period=1,
+    ):
+        if vector_mode not in ("none", "integrated", "decoupled"):
+            raise ConfigError(f"unknown vector_mode {vector_mode!r}")
+        if vector_mode == "decoupled" and engine is None:
+            raise ConfigError("decoupled vector_mode requires an engine")
+        self.core_id = core_id
+        self.l1i = l1i
+        self.l1d = l1d
+        self.source = source
+        self.rob_size = rob_size
+        self.width = width
+        self.vector_mode = vector_mode
+        self.ivu_vlen_bits = ivu_vlen_bits
+        self.ivu_port_bytes = ivu_port_bytes
+        self.engine = engine
+        self.period = period
+        self.predictor = GsharePredictor()
+        self.fu = FUPool(BIG_FU_COUNTS, period=period)
+        self.store_buffer_depth = store_buffer_depth
+        self.mispredict_penalty = mispredict_penalty
+        self._line_mask = ~(line_bytes - 1)
+
+        self._rob = deque()
+        self._ready = deque()
+        self._last_writer = {}  # scalar reg -> producing entry
+        self._vseq_entry = {}  # vector seq -> entry (integrated mode)
+        self._complete_at = []  # heap of (time, tiebreak, entry)
+        self._complete_seq = 0
+        self._front_avail = 0
+        self._cur_line = None
+        self._fetch_blocked_on = None  # entry of an unresolved mispredict
+        self._sb = []  # post-commit store addresses
+        self._sb_waiting = False
+        self._outstanding = 0  # loads / fills in flight
+
+        self.breakdown = Breakdown()
+        self.instrs = 0
+        self.vector_instrs = 0
+        self.vector_dispatches = 0
+
+    # --------------------------------------------------------------- helpers
+
+    def set_source(self, source):
+        self.source = source
+        self._front_avail = 0
+        self._cur_line = None
+
+    def done(self):
+        return (
+            (self.source is None or self.source.done())
+            and not self._rob
+            and not self._sb
+            and self._outstanding == 0
+            and not self._complete_at
+        )
+
+    def _schedule_completion(self, entry, t):
+        # async fill callbacks can fire after this core's tick in the same
+        # cycle; clamp into the future so the completion is never lost
+        if t <= self._now_hint:
+            t = self._now_hint + self.period
+        self._complete_seq += 1
+        heapq.heappush(self._complete_at, (t, self._complete_seq, entry))
+
+    def _wake(self, entry, now):
+        entry.completed = True
+        for c in entry.consumers:
+            c.deps -= 1
+            if c.deps == 0 and not c.issued:
+                self._ready.append(c)
+        entry.consumers.clear()
+        if self._fetch_blocked_on is entry:
+            self._fetch_blocked_on = None
+            self._front_avail = now + self.mispredict_penalty * self.period
+            self._cur_line = None
+
+    def _ifill(self, line, ready):
+        self._front_avail = ready
+
+    # ------------------------------------------------------------------ tick
+
+    def tick(self, now):
+        # 1. completions whose time has passed
+        heap = self._complete_at
+        while heap and heap[0][0] <= now:
+            _, _, e = heapq.heappop(heap)
+            self._wake(e, now)
+        # 2. issue ready instructions
+        self._issue(now)
+        # 3. commit in order
+        self._commit(now)
+        # 4. fetch/dispatch new instructions into the ROB
+        self._fetch(now)
+        # 5. drain post-commit stores
+        self._drain_store_buffer(now)
+
+    # ----------------------------------------------------------------- fetch
+
+    def _fetch(self, now):
+        if self._fetch_blocked_on is not None or self.source is None:
+            return
+        fetched = 0
+        redirects = 0
+        while fetched < self.width and len(self._rob) < self.rob_size:
+            if self._front_avail > now:
+                return
+            ins = self.source.peek()
+            if ins is None:
+                return
+            line = ins.pc & self._line_mask
+            if line != self._cur_line:
+                self._cur_line = line
+                res, ready = self.l1i.access(line, False, now, waiter=self._ifill)
+                if res == HIT:
+                    self._front_avail = ready
+                elif res == BLOCKED:
+                    self._cur_line = None
+                    self._front_avail = now + self.period
+                else:
+                    self._front_avail = _INF
+                if self._front_avail > now:
+                    return
+            self.source.pop()
+            self._dispatch(ins, now)
+            fetched += 1
+            if ins.is_vector:
+                continue
+            if OP_IS_BRANCH[ins.op]:
+                taken = bool(ins.taken)
+                correct = self.predictor.predict_and_update(ins.pc, taken)
+                if not correct:
+                    self._fetch_blocked_on = self._rob[-1]
+                    return
+                if taken:
+                    # BTB hit: predicted-taken branches redirect without a
+                    # bubble, but the front end follows one taken branch/cycle
+                    self._cur_line = None
+                    redirects += 1
+                    if redirects >= 1 + (self.width // 4):
+                        self._front_avail = now + self.period
+                        return
+                    continue
+
+    def _dispatch(self, ins, now):
+        entry = _Entry(ins)
+        self._rob.append(entry)
+        if ins.is_vector:
+            self.vector_instrs += 1
+            if self.vector_mode == "none":
+                raise ConfigError(f"{self.core_id} has no vector unit for {ins!r}")
+            # scalar sources
+            for r in ins.rs:
+                p = self._last_writer.get(r)
+                if p is not None and not p.completed:
+                    entry.deps += 1
+                    p.consumers.append(entry)
+            if self.vector_mode == "integrated":
+                for seq in ins.dep_ids:
+                    p = self._vseq_entry.get(seq)
+                    if p is not None and not p.completed:
+                        entry.deps += 1
+                        p.consumers.append(entry)
+                self._vseq_entry[ins.seq] = entry
+                entry.is_store = VOP_IS_STORE[ins.op]
+                if entry.deps == 0:
+                    self._ready.append(entry)
+            # decoupled: handled at commit head, not via the ready queue
+            if ins.rd is not None:
+                self._last_writer[ins.rd] = entry
+            return
+        for src in ins.srcs:
+            p = self._last_writer.get(src)
+            if p is not None and not p.completed:
+                entry.deps += 1
+                p.consumers.append(entry)
+        entry.is_store = OP_IS_STORE[ins.op] and not OP_IS_LOAD[ins.op]
+        entry.is_branch = OP_IS_BRANCH[ins.op]
+        if ins.dst is not None:
+            self._last_writer[ins.dst] = entry
+        if entry.deps == 0:
+            self._ready.append(entry)
+
+    # ----------------------------------------------------------------- issue
+
+    def _issue(self, now):
+        issued = 0
+        n = len(self._ready)
+        for _ in range(n):
+            if issued >= self.width:
+                break
+            entry = self._ready.popleft()
+            if self._try_issue_one(entry, now):
+                entry.issued = True
+                issued += 1
+            else:
+                self._ready.append(entry)
+
+    def _try_issue_one(self, entry, now):
+        ins = entry.ins
+        if ins.is_vector:
+            return self._issue_ivu(entry, now)
+        op = ins.op
+        fu = OP_FU[op]
+        if fu == FUClass.MEM:
+            if entry.is_store:
+                # stores just need address generation; data written at commit
+                if self.fu.try_issue(FUClass.ALU, now) is None:
+                    return False
+                self._schedule_completion(entry, now + self.period)
+                return True
+            if self.fu.try_issue(FUClass.MEM, now) is None:
+                return False
+            res, ready = self.l1d.access(
+                ins.addr, OP_IS_STORE[op], now, waiter=self._load_waiter(entry)
+            )
+            if res == BLOCKED:
+                self._outstanding -= 1
+                return False
+            if res == HIT:
+                self._outstanding -= 1
+                self._schedule_completion(entry, ready)
+            return True
+        lat = self.fu.try_issue(fu, now)
+        if lat is None:
+            return False
+        self._schedule_completion(entry, now + lat)
+        return True
+
+    def _load_waiter(self, entry):
+        self._outstanding += 1
+
+        def waiter(line, ready):
+            self._outstanding -= 1
+            self._schedule_completion(entry, max(ready, self._now_hint))
+
+        return waiter
+
+    # IVU ---------------------------------------------------------------------
+
+    def _issue_ivu(self, entry, now):
+        ins = entry.ins
+        cls = VOP_CLASS[ins.op]
+        if cls in (VClass.MEM_UNIT, VClass.MEM_STRIDE, VClass.MEM_INDEX):
+            return self._issue_ivu_mem(entry, now)
+        fu = _IVU_FU[cls]
+        # vector arithmetic occupies both FP pipes (paper: the IVU leverages
+        # two of the big core's execution pipelines)
+        if fu == FUClass.FPU:
+            if not self.fu.can_issue(FUClass.FPU, now):
+                return False
+            self.fu.issue(FUClass.FPU, now)
+            self.fu.issue(FUClass.FPU, now)
+            lat = self.fu.latency[FUClass.FPU] * self.period
+        else:
+            lat = self.fu.try_issue(fu, now)
+            if lat is None:
+                return False
+        if cls in (VClass.CROSS_PERM, VClass.CROSS_RED):
+            lat += max(0, ins.vl // 2) * self.period
+        elif cls in (VClass.INT_COMPLEX, VClass.FDIV):
+            lat += ins.vl * self.period  # serialized element groups
+        self._schedule_completion(entry, now + lat)
+        return True
+
+    _ivu_port_free = 0
+
+    def _issue_ivu_mem(self, entry, now):
+        ins = entry.ins
+        # the IVU shares ONE data-cache port with the core (paper §IV-A):
+        # a vector access occupies it for one cycle per 16 B chunk
+        if self._ivu_port_free > now:
+            return False
+        if self.fu.try_issue(FUClass.MEM, now) is None:
+            return False
+        if VOP_IS_STORE[ins.op]:
+            # data goes to the post-commit store buffer chunk by chunk
+            self._schedule_completion(entry, now + self.period)
+            return True
+        chunks = self._ivu_chunks(ins)
+        self._ivu_port_free = now + len(chunks) * self.period
+        entry.pending_chunks = len(chunks)
+        latest = now + self.period
+        for addr in chunks:
+            res, ready = self.l1d.access(addr, False, now, waiter=self._chunk_waiter(entry))
+            if res == HIT:
+                self._outstanding -= 1
+                entry.pending_chunks -= 1
+                latest = max(latest, ready)
+            elif res == BLOCKED:
+                self._outstanding -= 1
+                entry.pending_chunks -= 1
+                latest = max(latest, now + 4 * self.period)  # retried internally
+        # the IVU shares a single data-cache port with the core (paper §IV-A)
+        latest += (len(chunks) - 1) * self.period
+        if entry.pending_chunks == 0:
+            self._schedule_completion(entry, latest)
+        return True
+
+    def _chunk_waiter(self, entry):
+        self._outstanding += 1
+
+        def waiter(line, ready):
+            self._outstanding -= 1
+            entry.pending_chunks -= 1
+            if entry.pending_chunks == 0:
+                self._schedule_completion(entry, max(ready, self._now_hint))
+
+        return waiter
+
+    def _ivu_chunks(self, ins):
+        """Port-width (16 B) chunk addresses for an IVU memory op."""
+        cls = VOP_CLASS[ins.op]
+        if cls == VClass.MEM_UNIT:
+            nbytes = max(ins.vl * ins.ew, 1)
+            w = self.ivu_port_bytes
+            first = ins.base // w * w
+            last = (ins.base + nbytes - 1) // w * w
+            return list(range(first, last + w, w))
+        return ins.element_addrs()
+
+    # ---------------------------------------------------------------- commit
+
+    def _commit(self, now):
+        committed = 0
+        while self._rob and committed < self.width:
+            entry = self._rob[0]
+            ins = entry.ins
+            if ins.is_vector and self.vector_mode == "decoupled":
+                if not entry.dispatched:
+                    if entry.deps > 0:
+                        break  # scalar sources not ready
+                    if ins.op == VOp.VMFENCE and (self._sb or self._outstanding > 0):
+                        break  # scalar accesses must retire first (§III-B)
+                    if not self.engine.can_accept(now):
+                        break
+                    self.engine.dispatch(ins, now, self._vector_response(entry))
+                    entry.dispatched = True
+                    self.vector_dispatches += 1
+                    if ins.rd is None:
+                        entry.completed = True
+                        self._wake(entry, now)
+                if not entry.completed:
+                    break
+            elif not entry.completed:
+                break
+            if (not ins.is_vector and ins.op == Op.CSRRW
+                    and self.vector_mode == "decoupled"):
+                # a vector-mode CSR write: the OS returns the cluster to
+                # scalar mode once the engine drains (paper §III-B)
+                if not self.engine.idle():
+                    break
+                if hasattr(self.engine, "end_region"):
+                    self.engine.end_region()
+            # retire; stores need a store-buffer slot or commit stalls
+            if entry.is_store and not ins.is_vector:
+                if len(self._sb) >= self.store_buffer_depth:
+                    break
+                self._sb.append(ins.addr)
+            elif ins.is_vector and self.vector_mode == "integrated" and VOP_IS_STORE[ins.op]:
+                if len(self._sb) >= self.store_buffer_depth:
+                    break
+                self._sb.extend(self._ivu_chunks(ins))
+            self._rob.popleft()
+            self.instrs += 1
+            committed += 1
+        if committed:
+            self.breakdown.add(Stall.BUSY)
+        else:
+            self.breakdown.add(Stall.MISC)
+
+    def _vector_response(self, entry):
+        def respond(ready_time):
+            """Engine callback: the scalar result arrives at ``ready_time``."""
+            self._schedule_completion(entry, max(ready_time, self._now_hint))
+
+        return respond
+
+    # ---------------------------------------------------------------- stores
+
+    def _drain_store_buffer(self, now):
+        """Fire-and-forget drain: a write miss parks in an MSHR and the cache
+        completes it on fill — an OoO core's write buffer pipelines misses
+        instead of serializing them at DRAM latency."""
+        if not self._sb:
+            return
+        if self.fu.try_issue(FUClass.MEM, now) is None:
+            return
+        addr = self._sb[0]
+        res, ready = self.l1d.access(addr, True, now, waiter=self._store_waiter())
+        if res == BLOCKED:
+            self._outstanding -= 1
+            return
+        if res == HIT:
+            self._outstanding -= 1
+        self._sb.pop(0)
+
+    def _store_waiter(self):
+        self._outstanding += 1
+
+        def waiter(line, ready):
+            self._outstanding -= 1
+
+        return waiter
+
+    # ----------------------------------------------------------------- stats
+
+    _now_hint = 0  # updated by the system each cycle for async callbacks
+
+    def set_now_hint(self, now):
+        self._now_hint = now
+
+    def stats(self):
+        out = {
+            f"{self.core_id}.instrs": self.instrs,
+            f"{self.core_id}.vinstrs": self.vector_instrs,
+            f"{self.core_id}.vdispatch": self.vector_dispatches,
+            f"{self.core_id}.mispredicts": self.predictor.mispredicts,
+        }
+        for name, v in self.breakdown.as_dict().items():
+            out[f"{self.core_id}.stall.{name}"] = v
+        return out

@@ -1,0 +1,61 @@
+"""Branch direction predictors.
+
+The little core uses a bimodal (per-PC 2-bit counter) predictor; the big core
+uses a gshare predictor with a global history register. Both consume the
+*resolved* direction carried in the trace and report whether the prediction
+matched — the cores turn mispredictions into front-end redirect penalties.
+"""
+
+from __future__ import annotations
+
+
+class BimodalPredictor:
+    """Per-PC 2-bit saturating counters (little-core front end)."""
+
+    def __init__(self, entries=512):
+        self._mask = entries - 1
+        self._table = [1] * entries  # weakly not-taken (static NT default)
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def predict_and_update(self, pc, taken):
+        """Return True if the prediction was correct; train the counter."""
+        self.lookups += 1
+        idx = (pc >> 2) & self._mask
+        ctr = self._table[idx]
+        pred = ctr >= 2
+        if taken and ctr < 3:
+            self._table[idx] = ctr + 1
+        elif not taken and ctr > 0:
+            self._table[idx] = ctr - 1
+        correct = pred == taken
+        if not correct:
+            self.mispredicts += 1
+        return correct
+
+
+class GsharePredictor:
+    """Global-history XOR-indexed 2-bit counters (big-core front end)."""
+
+    def __init__(self, entries=4096, history_bits=10):
+        self._mask = entries - 1
+        self._table = [1] * entries  # weakly not-taken
+        self._hist = 0
+        self._hist_mask = (1 << history_bits) - 1
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def predict_and_update(self, pc, taken):
+        self.lookups += 1
+        idx = ((pc >> 2) ^ self._hist) & self._mask
+        ctr = self._table[idx]
+        pred = ctr >= 2
+        if taken and ctr < 3:
+            self._table[idx] = ctr + 1
+        elif not taken and ctr > 0:
+            self._table[idx] = ctr - 1
+        self._hist = ((self._hist << 1) | (1 if taken else 0)) & self._hist_mask
+        correct = pred == taken
+        if not correct:
+            self.mispredicts += 1
+        return correct

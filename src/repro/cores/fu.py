@@ -1,0 +1,93 @@
+"""Functional-unit pools and latency tables shared by the core models."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.isa.scalar import FUClass
+
+#: Execution latencies in cycles (identical little/big per paper Table II's
+#: spirit: same ISA, same units, different issue machinery).
+DEFAULT_LATENCY = {
+    FUClass.NONE: 1,
+    FUClass.ALU: 1,
+    FUClass.MUL: 3,
+    FUClass.DIV: 12,
+    FUClass.FPU: 4,
+    FUClass.FDIV: 12,
+    FUClass.MEM: 1,  # AGU; cache adds its own latency
+}
+
+#: Units that cannot accept a new op until the previous one finishes.
+UNPIPELINED = frozenset({FUClass.DIV, FUClass.FDIV})
+
+#: Little core: one of everything (single-issue in-order).
+LITTLE_FU_COUNTS = {
+    FUClass.ALU: 1,
+    FUClass.MUL: 1,
+    FUClass.DIV: 1,
+    FUClass.FPU: 1,
+    FUClass.FDIV: 1,
+    FUClass.MEM: 1,
+}
+
+#: Big core: 3 ALUs, 2 FP pipes, 2 cache ports (4-wide OoO mobile class).
+BIG_FU_COUNTS = {
+    FUClass.ALU: 3,
+    FUClass.MUL: 1,
+    FUClass.DIV: 1,
+    FUClass.FPU: 2,
+    FUClass.FDIV: 1,
+    FUClass.MEM: 2,
+}
+
+
+class FUPool:
+    """Per-cycle issue slots plus busy tracking for unpipelined units."""
+
+    __slots__ = ("counts", "latency", "period", "_used", "_now", "_busy_until")
+
+    def __init__(self, counts, latency=None, period=1):
+        for fu, n in counts.items():
+            if n < 1:
+                raise ConfigError(f"FU count for {fu} must be >= 1")
+        self.counts = dict(counts)
+        self.latency = dict(DEFAULT_LATENCY)
+        if latency:
+            self.latency.update(latency)
+        self.period = period
+        self._used = {}
+        self._now = -1
+        self._busy_until = {}
+
+    def _roll(self, now):
+        if now != self._now:
+            self._now = now
+            self._used.clear()
+
+    def can_issue(self, fu, now):
+        if fu == FUClass.NONE:
+            return True
+        self._roll(now)
+        if self._used.get(fu, 0) >= self.counts.get(fu, 0):
+            return False
+        if fu in UNPIPELINED and self._busy_until.get(fu, 0) > now:
+            return False
+        return True
+
+    def issue(self, fu, now, occupancy=None):
+        """Claim a slot; returns the op's completion latency."""
+        if fu == FUClass.NONE:
+            return 1
+        self._roll(now)
+        self._used[fu] = self._used.get(fu, 0) + 1
+        lat = self.latency[fu] * self.period
+        if fu in UNPIPELINED:
+            self._busy_until[fu] = now + (occupancy * self.period
+                                          if occupancy is not None else lat)
+        return lat
+
+    def try_issue(self, fu, now, occupancy=None):
+        """can_issue + issue in one step; returns latency or None."""
+        if not self.can_issue(fu, now):
+            return None
+        return self.issue(fu, now, occupancy)

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the big.VLITTLE reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A system or component configuration is invalid or inconsistent."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed (bad operands, unknown register, bad loop nesting)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state (a modeling bug)."""
+
+
+class DeadlockError(SimulationError):
+    """No component made progress for a full watchdog window."""
+
+    def __init__(self, cycle, detail=""):
+        self.cycle = cycle
+        self.detail = detail
+        msg = f"simulation deadlocked at cycle {cycle}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class WorkloadError(ReproError):
+    """A workload generator was given unusable parameters."""

@@ -1,0 +1,6 @@
+"""Experiment harness: runners, per-figure/table generators, CLI."""
+
+from repro.experiments.runner import clear_cache, run_pair, speedups_over_1l
+from repro.experiments import figures, tables
+
+__all__ = ["clear_cache", "run_pair", "speedups_over_1l", "figures", "tables"]

@@ -1,0 +1,96 @@
+"""Command-line entry point: ``bigvlittle <experiment> [--scale S]``.
+
+Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 table2..table7 all
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.experiments import ablations, figures, tables
+
+_FIGS = {
+    "fig4": (figures.fig4, figures.print_fig4),
+    "fig5": (figures.fig5, lambda d: figures.print_normalized(d, "ifetch / 1bDV")),
+    "fig6": (figures.fig6, lambda d: figures.print_normalized(d, "data reqs / 1bDV")),
+    "fig7": (figures.fig7, figures.print_fig7),
+    "fig8": (figures.fig8, figures.print_fig8),
+    "fig9": (figures.fig9, figures.print_fig9),
+    "fig10": (figures.fig10, figures.print_fig10),
+    "fig11": (figures.fig11, figures.print_fig11),
+}
+
+_ABLATIONS = {
+    "ablate-scaling": ablations.cluster_scaling,
+    "ablate-switch": ablations.switch_penalty,
+    "ablate-vxu": ablations.vxu_topology,
+    "ablate-coalesce": ablations.coalesce_width,
+    "ablate-dram": ablations.dram_bandwidth,
+    "ablate-graphs": ablations.graph_topology,
+    "ablate-regions": ablations.region_granularity,
+}
+
+_TABLES = {
+    "table2": tables.table2,
+    "table3": tables.table3,
+    "table4": tables.table4,
+    "table5": tables.table5,
+    "table6": tables.table6_data,
+    "table7": tables.table7,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="bigvlittle",
+        description="Regenerate big.VLITTLE (MICRO 2022) evaluation results",
+    )
+    parser.add_argument("experiment",
+                    choices=sorted(_FIGS) + sorted(_TABLES) + sorted(_ABLATIONS) + ["all"])
+    parser.add_argument("--scale", default="small", choices=("tiny", "small", "full"))
+    parser.add_argument("--json", action="store_true", help="dump raw data as JSON")
+    parser.add_argument("--svg", metavar="DIR", default=None,
+                        help="also render the figure(s) as SVG into DIR")
+    args = parser.parse_args(argv)
+
+    names = sorted(_FIGS) + sorted(_TABLES) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.time()
+        print(f"== {name} (scale={args.scale}) ==")
+        if name in _FIGS:
+            fn, pr = _FIGS[name]
+            data = fn(scale=args.scale)
+        elif name in _ABLATIONS:
+            data = _ABLATIONS[name]()
+            pr = None
+        else:
+            data = _TABLES[name]()
+            pr = None
+        if args.svg and name in _FIGS:
+            from repro.experiments.render import render
+
+            paths = render(name, data, args.svg)
+            print(f"svg: {paths}")
+        if args.json:
+            print(json.dumps(_jsonable(data), indent=2))
+        elif pr is not None:
+            pr(data)
+        else:
+            print(json.dumps(_jsonable(data), indent=2))
+        print(f"-- {name} done in {time.time() - t0:.1f}s\n")
+    return 0
+
+
+def _jsonable(obj):
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(x) for x in obj]
+    return obj
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Render figure data to SVG files, named like the paper artifact's plots
+(paper §X-F: plot-perf.svg, plot-lsq_perf.svg, ...)."""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments import svgplot
+from repro.power import BIG_LEVELS, LITTLE_LEVELS
+from repro.stats.breakdown import STALL_NAMES
+
+
+def render_fig4(data, outdir):
+    systems = [s for s in next(iter(data["speedups"].values())) if s != "1L"]
+    svg = svgplot.grouped_bars(data["speedups"], systems,
+                               title="Figure 4: speedup over 1L",
+                               ylabel="speedup (x)", width=1200)
+    return svg.save(os.path.join(outdir, "plot-perf.svg"))
+
+
+def render_fig5(data, outdir):
+    systems = ["1bIV-4L", "1bDV", "1b-4VL"]
+    svg = svgplot.grouped_bars(data, systems,
+                               title="Figure 5: instruction fetches / 1bDV",
+                               ylabel="normalized fetches")
+    return svg.save(os.path.join(outdir, "plot-inst_reqs_breakdown.svg"))
+
+
+def render_fig6(data, outdir):
+    systems = ["1bIV-4L", "1bDV", "1b-4VL"]
+    svg = svgplot.grouped_bars(data, systems,
+                               title="Figure 6: data requests / 1bDV",
+                               ylabel="normalized requests")
+    return svg.save(os.path.join(outdir, "plot-data_reqs_breakdown.svg"))
+
+
+def render_fig7(data, outdir):
+    svg = svgplot.stacked_bars(
+        data, STALL_NAMES,
+        title="Figure 7: 1b-4VL lane execution-time breakdown (1c / 1c+sw / 2c+sw)",
+        width=1200,
+    )
+    return svg.save(os.path.join(outdir, "plot-amc_exec_time_breakdown.svg"))
+
+
+def render_fig8(data, outdir):
+    series = {w: row for w, row in data.items()}
+    svg = svgplot.line_chart(series, title="Figure 8: VMU data-queue depth",
+                             xlabel="queue depth (lines/VMSU)",
+                             ylabel="relative performance")
+    return svg.save(os.path.join(outdir, "plot-lsq_perf.svg"))
+
+
+def render_fig9(data, outdir):
+    paths = []
+    for w, per_sys in data.items():
+        for s, pts in per_sys.items():
+            grid = {(b, l): pts[(b, l)] for b in BIG_LEVELS for l in LITTLE_LEVELS}
+            svg = svgplot.heatmap(grid, list(BIG_LEVELS), list(LITTLE_LEVELS),
+                                  title=f"Fig 9: {w} on {s} (speedup over 1L)")
+            safe = s.replace("-", "_")
+            paths.append(svg.save(os.path.join(
+                outdir, f"plot_freq_perf_heatmap-{w}-{safe}.svg")))
+    return paths
+
+
+def render_fig10(data, outdir):
+    paths = []
+    for w, d in data.items():
+        svg = svgplot.scatter(d["points"], pareto=d["pareto"],
+                              title=f"Fig 10: {w} 1b-4VL time vs power",
+                              xlabel="time (ps)",
+                              series_of=lambda tag: f"big {tag[0]}")
+        paths.append(svg.save(os.path.join(outdir, f"plot_freq_power-{w}.svg")))
+    return paths
+
+
+def render_fig11(data, outdir):
+    paths = []
+    for w, d in data.items():
+        pts = [p for rows in d["points"].values() for p in rows]
+        svg = svgplot.scatter(pts, pareto=d["pareto"],
+                              title=f"Fig 11: {w} all designs",
+                              xlabel="time (ps)",
+                              series_of=lambda tag: tag[0])
+        paths.append(svg.save(os.path.join(outdir, f"plot_freq_power_all-{w}.svg")))
+    return paths
+
+
+RENDERERS = {
+    "fig4": render_fig4,
+    "fig5": render_fig5,
+    "fig6": render_fig6,
+    "fig7": render_fig7,
+    "fig8": render_fig8,
+    "fig9": render_fig9,
+    "fig10": render_fig10,
+    "fig11": render_fig11,
+}
+
+
+def render(name, data, outdir):
+    os.makedirs(outdir, exist_ok=True)
+    if name not in RENDERERS:
+        return None
+    return RENDERERS[name](data, outdir)

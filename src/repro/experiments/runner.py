@@ -1,0 +1,84 @@
+"""Run (system, workload) pairs the way the paper's methodology maps them.
+
+The mapping (paper §IV):
+
+* kernels & data-parallel apps — single-threaded scalar on ``1L``/``1b``;
+  RVV single-threaded (strip-mined for the system's VLEN) on
+  ``1bIV``/``1bDV``/``1b-4VL``; work-stealing task program with per-task
+  scalar *and* vector bodies on ``1bIV-4L`` (the big core runs vector tasks
+  through the IVU); scalar-only task program on ``1b-4L``.
+* task-parallel (Ligra) apps — scalar single-threaded on the single-core
+  systems (``1bDV``/``1bIV`` can only use their big core: the engines are
+  useless for irregular code); work-stealing task program on the multicore
+  systems (``1b-4VL`` runs it in scalar mode, identically to ``1b-4L``).
+
+Results are memoized per (system, workload, scale, frequency, engine-knobs)
+so the figure generators can share runs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.soc import System, preset
+from repro.workloads import REGISTRY, get_workload
+
+#: chunks for data-parallel task decomposition: fine enough that the slow
+#: little cores never hold a long critical path (Cilk-style grain sizing)
+DATA_PARALLEL_CHUNKS = 48
+
+_cache = {}
+
+
+def clear_cache():
+    _cache.clear()
+
+
+def _program_for(cfg, workload):
+    kind = workload.kind
+    name = cfg.name
+    if kind in ("kernel", "data-parallel"):
+        if name in ("1L", "1b"):
+            return workload.scalar_trace()
+        if name in ("1bIV", "1bDV", "1b-4VL"):
+            return workload.vector_trace(cfg.vlen_bits(4))
+        if name == "1bIV-4L":
+            return workload.task_program(vector_vlen=cfg.vlen_bits(4),
+                                         n_chunks=DATA_PARALLEL_CHUNKS)
+        if name == "1b-4L":
+            return workload.task_program(n_chunks=DATA_PARALLEL_CHUNKS)
+        raise ConfigError(f"no mapping for system {name}")
+    # task-parallel
+    if name in ("1L", "1b", "1bIV", "1bDV"):
+        return workload.scalar_trace()
+    return workload.task_program()
+
+
+def run_pair(system_name, workload_name, scale="small", cfg=None, use_cache=True,
+             **cfg_overrides):
+    """Simulate one (system, workload) pair; returns a RunResult."""
+    if cfg is None:
+        cfg = preset(system_name, **cfg_overrides)
+    key = (
+        cfg.name, workload_name, scale, cfg.freq_big, cfg.freq_little,
+        cfg.chimes, cfg.packed, cfg.vmu_loadq, cfg.vmu_storeq,
+        cfg.switch_penalty, cfg.vxu_extra_latency, cfg.coalesce_width,
+        cfg.n_little, cfg.mem.dram_line_interval, cfg.mem.l1_mshrs,
+    )
+    if use_cache and key in _cache:
+        return _cache[key]
+    workload = get_workload(workload_name, scale)
+    program = _program_for(cfg, workload)
+    result = System(cfg).run(program)
+    if use_cache:
+        _cache[key] = result
+    return result
+
+
+def speedups_over_1l(workload_name, systems, scale="small"):
+    """Fig. 4 metric: execution-time speedup of each system over ``1L``."""
+    base = run_pair("1L", workload_name, scale)
+    out = {}
+    for s in systems:
+        r = run_pair(s, workload_name, scale)
+        out[s] = base.stats["time_ps"] / r.stats["time_ps"]
+    return out

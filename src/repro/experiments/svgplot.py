@@ -1,0 +1,264 @@
+"""Dependency-free SVG chart rendering for the figure generators.
+
+The paper's artifact produces one SVG per figure (``plot-perf.svg``,
+``plot-lsq_perf.svg``, ...); this module does the same without matplotlib:
+grouped bar charts (Figs. 4-6), stacked bars (Fig. 7), line charts (Fig. 8),
+heatmaps (Fig. 9) and scatter plots with Pareto frontiers (Figs. 10-11),
+rendered as plain SVG.
+
+Used by the CLI: ``bigvlittle fig4 --svg plots/``.
+"""
+
+from __future__ import annotations
+
+import math
+from xml.sax.saxutils import escape
+
+PALETTE = ["#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4",
+           "#8c613c", "#dc7ec0", "#797979", "#d5bb67", "#82c6e2"]
+
+
+class SVG:
+    """A tiny SVG canvas with helpers for chart primitives."""
+
+    def __init__(self, width=960, height=420):
+        self.width = width
+        self.height = height
+        self._parts = []
+
+    def rect(self, x, y, w, h, fill, opacity=1.0, title=None):
+        t = f"<title>{escape(str(title))}</title>" if title else ""
+        self._parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{fill}" fill-opacity="{opacity}">{t}</rect>'
+        )
+
+    def line(self, x1, y1, x2, y2, stroke="#444", width=1.0, dash=None):
+        d = f' stroke-dasharray="{dash}"' if dash else ""
+        self._parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{d}/>'
+        )
+
+    def circle(self, x, y, r, fill, title=None):
+        t = f"<title>{escape(str(title))}</title>" if title else ""
+        self._parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r:.1f}" fill="{fill}">{t}</circle>'
+        )
+
+    def text(self, x, y, s, size=11, anchor="middle", rotate=None, fill="#222"):
+        r = f' transform="rotate({rotate} {x:.1f} {y:.1f})"' if rotate else ""
+        self._parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'font-family="Helvetica,Arial,sans-serif" text-anchor="{anchor}" '
+            f'fill="{fill}"{r}>{escape(str(s))}</text>'
+        )
+
+    def polyline(self, pts, stroke, width=1.5):
+        p = " ".join(f"{x:.1f},{y:.1f}" for x, y in pts)
+        self._parts.append(
+            f'<polyline points="{p}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def render(self):
+        body = "\n".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="100%" height="100%" fill="white"/>\n{body}\n</svg>\n'
+        )
+
+    def save(self, path):
+        with open(path, "w") as f:
+            f.write(self.render())
+        return path
+
+
+def _nice_max(v):
+    if v <= 0:
+        return 1.0
+    mag = 10 ** math.floor(math.log10(v))
+    for m in (1, 2, 2.5, 5, 10):
+        if v <= m * mag:
+            return m * mag
+    return 10 * mag
+
+
+def grouped_bars(data, series, title="", ylabel="", width=960, height=420,
+                 log=False):
+    """``data``: {group: {series_name: value}}; bars grouped per group."""
+    svg = SVG(width, height)
+    ml, mr, mt, mb = 55, 15, 40, 80
+    pw, ph = width - ml - mr, height - mt - mb
+    groups = list(data)
+    vmax = _nice_max(max(max(row.values()) for row in data.values()))
+    svg.text(width / 2, 20, title, size=14)
+    svg.text(14, mt + ph / 2, ylabel, size=11, rotate=-90)
+
+    def ypos(v):
+        if log:
+            lo, hi = 0.0, math.log10(max(vmax, 1.0001))
+            vv = math.log10(max(v, 0.01))
+            return mt + ph * (1 - max(vv - lo, 0) / (hi - lo))
+        return mt + ph * (1 - v / vmax)
+
+    # gridlines
+    for i in range(5):
+        gv = vmax * i / 4
+        y = ypos(gv) if not log else mt + ph * (1 - i / 4)
+        label = f"{gv:g}" if not log else f"{10 ** (math.log10(max(vmax,1.0001)) * i / 4):.1f}"
+        svg.line(ml, y, ml + pw, y, stroke="#ddd")
+        svg.text(ml - 6, y + 4, label, size=9, anchor="end")
+    gw = pw / max(len(groups), 1)
+    bw = gw * 0.8 / max(len(series), 1)
+    for gi, g in enumerate(groups):
+        x0 = ml + gi * gw + gw * 0.1
+        for si, s in enumerate(series):
+            v = data[g].get(s, 0)
+            y = ypos(v)
+            svg.rect(x0 + si * bw, y, bw * 0.92, mt + ph - y,
+                     PALETTE[si % len(PALETTE)], title=f"{g} {s}: {v:.2f}")
+        svg.text(ml + gi * gw + gw / 2, mt + ph + 12, g, size=9, rotate=30,
+                 anchor="start")
+    # legend
+    for si, s in enumerate(series):
+        x = ml + si * 95
+        svg.rect(x, height - 18, 10, 10, PALETTE[si % len(PALETTE)])
+        svg.text(x + 14, height - 9, s, size=10, anchor="start")
+    svg.line(ml, mt + ph, ml + pw, mt + ph, stroke="#222")
+    return svg
+
+
+def stacked_bars(data, categories, colors=None, title="", width=960, height=420):
+    """``data``: {group: {config: {category: value}}} — Fig. 7 style."""
+    svg = SVG(width, height)
+    ml, mr, mt, mb = 55, 15, 40, 90
+    pw, ph = width - ml - mr, height - mt - mb
+    colors = colors or PALETTE
+    groups = list(data)
+    vmax = _nice_max(max(sum(cfg.get(c, 0) for c in categories)
+                         for row in data.values() for cfg in row.values()))
+    svg.text(width / 2, 20, title, size=14)
+    gw = pw / max(len(groups), 1)
+    for gi, g in enumerate(groups):
+        cfgs = list(data[g])
+        bw = gw * 0.8 / max(len(cfgs), 1)
+        x0 = ml + gi * gw + gw * 0.1
+        for ci, cfg in enumerate(cfgs):
+            y = mt + ph
+            for k, cat in enumerate(categories):
+                v = data[g][cfg].get(cat, 0)
+                h = ph * v / vmax
+                y -= h
+                svg.rect(x0 + ci * bw, y, bw * 0.9, h, colors[k % len(colors)],
+                         title=f"{g}/{cfg} {cat}: {v}")
+        svg.text(ml + gi * gw + gw / 2, mt + ph + 12, g, size=9, rotate=30,
+                 anchor="start")
+    for k, cat in enumerate(categories):
+        x = ml + k * 90
+        svg.rect(x, height - 18, 10, 10, colors[k % len(colors)])
+        svg.text(x + 14, height - 9, cat, size=10, anchor="start")
+    svg.line(ml, mt + ph, ml + pw, mt + ph, stroke="#222")
+    return svg
+
+
+def line_chart(data, title="", xlabel="", ylabel="", width=720, height=400):
+    """``data``: {series: {x: y}} with numeric x."""
+    svg = SVG(width, height)
+    ml, mr, mt, mb = 55, 120, 40, 45
+    pw, ph = width - ml - mr, height - mt - mb
+    xs = sorted({x for row in data.values() for x in row})
+    ymax = _nice_max(max(y for row in data.values() for y in row.values()))
+    svg.text(width / 2, 20, title, size=14)
+    svg.text(ml + pw / 2, height - 8, xlabel, size=11)
+    svg.text(14, mt + ph / 2, ylabel, size=11, rotate=-90)
+
+    def px(x):
+        return ml + pw * xs.index(x) / max(len(xs) - 1, 1)
+
+    def py(y):
+        return mt + ph * (1 - y / ymax)
+
+    for i in range(5):
+        gv = ymax * i / 4
+        svg.line(ml, py(gv), ml + pw, py(gv), stroke="#ddd")
+        svg.text(ml - 6, py(gv) + 4, f"{gv:g}", size=9, anchor="end")
+    for x in xs:
+        svg.text(px(x), mt + ph + 14, str(x), size=9)
+    for si, (name, row) in enumerate(data.items()):
+        pts = [(px(x), py(row[x])) for x in xs if x in row]
+        svg.polyline(pts, PALETTE[si % len(PALETTE)])
+        svg.text(width - mr + 6, pts[-1][1] + 3, name, size=9, anchor="start",
+                 fill=PALETTE[si % len(PALETTE)])
+    svg.line(ml, mt + ph, ml + pw, mt + ph, stroke="#222")
+    return svg
+
+
+def heatmap(grid, row_labels, col_labels, title="", width=420, height=320,
+            fmt="{:.1f}"):
+    """``grid``: {(row, col): value} — Fig. 9 style."""
+    svg = SVG(width, height)
+    ml, mt = 60, 50
+    cw = (width - ml - 15) / len(col_labels)
+    ch = (height - mt - 20) / len(row_labels)
+    vals = list(grid.values())
+    vmin, vmax = min(vals), max(vals)
+    svg.text(width / 2, 20, title, size=13)
+    for ri, r in enumerate(row_labels):
+        svg.text(ml - 8, mt + ri * ch + ch / 2 + 4, r, size=10, anchor="end")
+        for ci, c in enumerate(col_labels):
+            v = grid[(r, c)]
+            f = 0.0 if vmax == vmin else (v - vmin) / (vmax - vmin)
+            rcol = int(255 - 140 * f)
+            color = f"rgb({rcol},{int(235 - 90 * f)},255)"
+            svg.rect(ml + ci * cw, mt + ri * ch, cw - 2, ch - 2, color,
+                     title=f"({r},{c}) = {v:.2f}")
+            svg.text(ml + ci * cw + cw / 2, mt + ri * ch + ch / 2 + 4,
+                     fmt.format(v), size=10)
+    for ci, c in enumerate(col_labels):
+        svg.text(ml + ci * cw + cw / 2, mt - 8, c, size=10)
+    return svg
+
+
+def scatter(points, pareto=None, title="", xlabel="time", ylabel="power (W)",
+            width=640, height=420, series_of=None):
+    """``points``: [(x, y, tag)]; optional frontier polyline; ``series_of``
+    maps a tag to a legend series name for coloring."""
+    svg = SVG(width, height)
+    ml, mr, mt, mb = 60, 130, 40, 45
+    pw, ph = width - ml - mr, height - mt - mb
+    xmax = _nice_max(max(p[0] for p in points))
+    ymax = _nice_max(max(p[1] for p in points))
+    svg.text(width / 2, 20, title, size=14)
+    svg.text(ml + pw / 2, height - 8, xlabel, size=11)
+    svg.text(14, mt + ph / 2, ylabel, size=11, rotate=-90)
+
+    def px(x):
+        return ml + pw * x / xmax
+
+    def py(y):
+        return mt + ph * (1 - y / ymax)
+
+    for i in range(5):
+        gx, gy = xmax * i / 4, ymax * i / 4
+        svg.line(px(gx), mt, px(gx), mt + ph, stroke="#eee")
+        svg.line(ml, py(gy), ml + pw, py(gy), stroke="#eee")
+        svg.text(px(gx), mt + ph + 14, f"{gx:g}", size=9)
+        svg.text(ml - 6, py(gy) + 4, f"{gy:g}", size=9, anchor="end")
+    series_names = []
+    for x, y, tag in points:
+        name = series_of(tag) if series_of else "points"
+        if name not in series_names:
+            series_names.append(name)
+        color = PALETTE[series_names.index(name) % len(PALETTE)]
+        svg.circle(px(x), py(y), 4, color, title=f"{tag}: ({x:.3g}, {y:.3g})")
+    if pareto:
+        pts = sorted((px(x), py(y)) for x, y, _ in pareto)
+        svg.polyline(pts, "#d65f5f", width=1.2)
+    for si, name in enumerate(series_names):
+        svg.circle(width - mr + 12, 40 + si * 16, 4, PALETTE[si % len(PALETTE)])
+        svg.text(width - mr + 22, 44 + si * 16, name, size=10, anchor="start")
+    svg.line(ml, mt + ph, ml + pw, mt + ph, stroke="#222")
+    svg.line(ml, mt, ml, mt + ph, stroke="#222")
+    return svg

@@ -1,0 +1,78 @@
+"""Regenerate the paper's tables (II, III, IV, V, VI, VII)."""
+
+from __future__ import annotations
+
+from repro.area import dve_area_estimate_kge, table6, vlittle_cluster_area_kge
+from repro.power import BIG_LEVELS, LITTLE_LEVELS
+from repro.soc import SYSTEM_NAMES, preset
+from repro.workloads import DATA_PARALLEL, KERNELS, REGISTRY, TASK_PARALLEL
+
+
+def table2():
+    """Simulated processor/memory parameters (inputs, from the preset)."""
+    cfg = preset("1b-4VL")
+    m = cfg.mem
+    return {
+        "big core": "4-wide OoO, 128-entry ROB, gshare",
+        "little core": "single-issue in-order, bimodal",
+        "L1I/L1D": f"{m.l1_size // 1024}KB {m.l1_assoc}-way, {m.l1_hit_latency}-cycle hit",
+        "L2": f"{m.l2_size // 1024}KB {m.l2_assoc}-way, {m.l2_banks} banks, "
+              f"{m.l2_latency}-cycle",
+        "DRAM": f"{m.dram_latency}-cycle, 1 line / {m.dram_line_interval} cycles",
+        "frequency": "1 GHz all clusters (scaled in Figs. 9-11)",
+    }
+
+
+def table3():
+    """Evaluated systems and their vector configuration."""
+    out = {}
+    for name in SYSTEM_NAMES:
+        cfg = preset(name)
+        out[name] = {
+            "big": cfg.n_big,
+            "little": cfg.n_little,
+            "vector": cfg.vector,
+            "vlen_bits": cfg.vlen_bits(4),
+        }
+    return out
+
+
+def table4():
+    """Task-parallel applications (Ligra) and the study kernels."""
+    return {
+        "ligra": TASK_PARALLEL,
+        "kernels": KERNELS,
+    }
+
+
+def table5():
+    """Data-parallel applications with their suites and VOp fraction."""
+    return {
+        n: {"suite": REGISTRY[n].suite, "vop": REGISTRY[n].vop_fraction}
+        for n in DATA_PARALLEL
+    }
+
+
+def table6_data():
+    """Area comparison: 4L vs 4VL for both little-core RTL models, plus the
+    Ara-referenced 1bDV estimate."""
+    out = {}
+    for core in ("simple", "ariane"):
+        base, vl, ovh = table6(core)
+        out[core] = {
+            "4L_kum2": round(base.total, 1),
+            "4VL_kum2": round(vl.total, 1),
+            "overhead": round(ovh, 4),
+            "components": {k: round(v, 1) for k, v in vl.components.items()},
+        }
+    out["1bDV_estimate"] = {
+        "ara_engine_kge": dve_area_estimate_kge(),
+        "4xariane_cluster_kge": vlittle_cluster_area_kge(),
+    }
+    return out
+
+
+def table7():
+    """DVFS levels and average power (big column from the paper; little
+    column reconstructed — see repro.power.dvfs)."""
+    return {"big": dict(BIG_LEVELS), "little": dict(LITTLE_LEVELS)}

@@ -1,0 +1,36 @@
+"""Instruction-set metadata for the simulated RV64-like scalar ISA and the
+RVV-1.0-like vector extension subset used throughout the simulator.
+
+The simulator is trace-driven: no instruction encoding/decoding exists, only
+per-opcode metadata (functional-unit class, memory semantics, branch-ness)
+that the timing models consume.
+"""
+
+from repro.isa.scalar import Op, FUClass, OP_FU, OP_IS_LOAD, OP_IS_STORE, OP_IS_BRANCH
+from repro.isa.vector import (
+    VOp,
+    VClass,
+    VOP_CLASS,
+    VOP_IS_LOAD,
+    VOP_IS_STORE,
+    VOP_IS_MEM,
+    VOP_IS_CROSS,
+    VOP_HAS_SCALAR_DEST,
+)
+
+__all__ = [
+    "Op",
+    "FUClass",
+    "OP_FU",
+    "OP_IS_LOAD",
+    "OP_IS_STORE",
+    "OP_IS_BRANCH",
+    "VOp",
+    "VClass",
+    "VOP_CLASS",
+    "VOP_IS_LOAD",
+    "VOP_IS_STORE",
+    "VOP_IS_MEM",
+    "VOP_IS_CROSS",
+    "VOP_HAS_SCALAR_DEST",
+]

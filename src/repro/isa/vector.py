@@ -1,0 +1,173 @@
+"""Vector (RVV-1.0-like) opcode metadata.
+
+The subset mirrors what the paper's workloads need: ``vsetvl`` strip-mining,
+unit-stride / constant-stride / indexed memory ops, integer and FP arithmetic,
+mask-producing compares, merges, reductions, and register-gather/slide
+permutations, plus the paper's ``vmfence`` scalar/vector ordering fence.
+
+``VClass`` drives the micro-architectural cost model:
+
+* ``INT_SIMPLE`` — packable: two 32-bit elements in a 64-bit register are
+  processed in one cycle (paper §III-C; includes integer multiply per §V-A).
+* ``INT_COMPLEX`` / ``FP`` / ``FDIV`` — serialized over packed elements.
+* ``MEM_*`` — handled by the vector memory unit.
+* ``CROSS_*`` — go through the VXU ring (one outstanding at a time).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class VClass(IntEnum):
+    CTRL = 0  # vsetvl
+    INT_SIMPLE = 1  # add/sub/logic/shift/min/max/mul/mac — packable
+    INT_COMPLEX = 2  # integer divide/remainder — serialized when packed
+    FP = 3  # FP add/sub/mul/madd/cvt/cmp — serialized when packed
+    FDIV = 4  # FP divide / sqrt — serialized, unpipelined
+    MEM_UNIT = 5  # unit-stride load/store
+    MEM_STRIDE = 6  # constant-stride load/store
+    MEM_INDEX = 7  # indexed gather/scatter
+    MASK = 8  # mask-register ops (compares write masks; merge reads them)
+    CROSS_PERM = 9  # vrgather / vslide — VXU
+    CROSS_RED = 10  # reductions — VXU
+    MOVE = 11  # scalar<->element moves, broadcasts
+    FENCE = 12  # vmfence
+
+
+class VOp(IntEnum):
+    VSETVL = 0
+    # memory
+    VLE = 1  # unit-stride load
+    VSE = 2  # unit-stride store
+    VLSE = 3  # strided load
+    VSSE = 4  # strided store
+    VLUXEI = 5  # indexed (gather) load
+    VSUXEI = 6  # indexed (scatter) store
+    # integer arithmetic
+    VADD = 7
+    VSUB = 8
+    VAND = 9
+    VOR = 10
+    VXOR = 11
+    VSLL = 12
+    VSRL = 13
+    VMIN = 14
+    VMAX = 15
+    VMUL = 16
+    VMACC = 17
+    VDIV = 18
+    VREM = 19
+    # FP arithmetic
+    VFADD = 20
+    VFSUB = 21
+    VFMUL = 22
+    VFMACC = 23
+    VFDIV = 24
+    VFSQRT = 25
+    VFCVT = 26
+    VFMIN = 27
+    VFMAX = 28
+    # comparisons producing masks / mask ops
+    VMSEQ = 29
+    VMSLT = 30
+    VMFLT = 31
+    VMAND = 32
+    VMOR = 33
+    VMERGE = 34
+    # reductions
+    VREDSUM = 35
+    VREDMIN = 36
+    VREDMAX = 37
+    VFREDSUM = 38
+    VFREDMIN = 39
+    VPOPC = 40  # mask population count -> scalar
+    # permutations
+    VRGATHER = 41
+    VSLIDEUP = 42
+    VSLIDEDOWN = 43
+    # moves
+    VMV_XS = 44  # element 0 -> scalar register
+    VMV_SX = 45  # scalar -> element 0
+    VMV_VX = 46  # broadcast scalar to all elements
+    VID = 47  # element indices 0..vl-1
+    # ordering
+    VMFENCE = 48
+
+
+_CLASS_BY_OP = {
+    VOp.VSETVL: VClass.CTRL,
+    VOp.VLE: VClass.MEM_UNIT,
+    VOp.VSE: VClass.MEM_UNIT,
+    VOp.VLSE: VClass.MEM_STRIDE,
+    VOp.VSSE: VClass.MEM_STRIDE,
+    VOp.VLUXEI: VClass.MEM_INDEX,
+    VOp.VSUXEI: VClass.MEM_INDEX,
+    VOp.VADD: VClass.INT_SIMPLE,
+    VOp.VSUB: VClass.INT_SIMPLE,
+    VOp.VAND: VClass.INT_SIMPLE,
+    VOp.VOR: VClass.INT_SIMPLE,
+    VOp.VXOR: VClass.INT_SIMPLE,
+    VOp.VSLL: VClass.INT_SIMPLE,
+    VOp.VSRL: VClass.INT_SIMPLE,
+    VOp.VMIN: VClass.INT_SIMPLE,
+    VOp.VMAX: VClass.INT_SIMPLE,
+    VOp.VMUL: VClass.INT_SIMPLE,
+    VOp.VMACC: VClass.INT_SIMPLE,
+    VOp.VDIV: VClass.INT_COMPLEX,
+    VOp.VREM: VClass.INT_COMPLEX,
+    VOp.VFADD: VClass.FP,
+    VOp.VFSUB: VClass.FP,
+    VOp.VFMUL: VClass.FP,
+    VOp.VFMACC: VClass.FP,
+    VOp.VFDIV: VClass.FDIV,
+    VOp.VFSQRT: VClass.FDIV,
+    VOp.VFCVT: VClass.FP,
+    VOp.VFMIN: VClass.FP,
+    VOp.VFMAX: VClass.FP,
+    VOp.VMSEQ: VClass.MASK,
+    VOp.VMSLT: VClass.MASK,
+    VOp.VMFLT: VClass.MASK,
+    VOp.VMAND: VClass.MASK,
+    VOp.VMOR: VClass.MASK,
+    VOp.VMERGE: VClass.MASK,
+    VOp.VREDSUM: VClass.CROSS_RED,
+    VOp.VREDMIN: VClass.CROSS_RED,
+    VOp.VREDMAX: VClass.CROSS_RED,
+    VOp.VFREDSUM: VClass.CROSS_RED,
+    VOp.VFREDMIN: VClass.CROSS_RED,
+    VOp.VPOPC: VClass.CROSS_RED,
+    VOp.VRGATHER: VClass.CROSS_PERM,
+    VOp.VSLIDEUP: VClass.CROSS_PERM,
+    VOp.VSLIDEDOWN: VClass.CROSS_PERM,
+    VOp.VMV_XS: VClass.MOVE,
+    VOp.VMV_SX: VClass.MOVE,
+    VOp.VMV_VX: VClass.MOVE,
+    VOp.VID: VClass.INT_SIMPLE,
+    VOp.VMFENCE: VClass.FENCE,
+}
+
+_N = max(VOp) + 1
+
+VOP_CLASS = [VClass.CTRL] * _N
+VOP_IS_LOAD = [False] * _N
+VOP_IS_STORE = [False] * _N
+VOP_IS_MEM = [False] * _N
+VOP_IS_CROSS = [False] * _N
+VOP_HAS_SCALAR_DEST = [False] * _N
+
+for _op in VOp:
+    _cls = _CLASS_BY_OP[_op]
+    VOP_CLASS[_op] = _cls
+    VOP_IS_MEM[_op] = _cls in (VClass.MEM_UNIT, VClass.MEM_STRIDE, VClass.MEM_INDEX)
+    VOP_IS_CROSS[_op] = _cls in (VClass.CROSS_PERM, VClass.CROSS_RED)
+
+for _op in (VOp.VLE, VOp.VLSE, VOp.VLUXEI):
+    VOP_IS_LOAD[_op] = True
+for _op in (VOp.VSE, VOp.VSSE, VOp.VSUXEI):
+    VOP_IS_STORE[_op] = True
+for _op in (VOp.VPOPC, VOp.VMV_XS, VOp.VSETVL):
+    VOP_HAS_SCALAR_DEST[_op] = True
+
+#: FP classes serialize over packed sub-elements (paper §III-C).
+PACK_SERIALIZED = frozenset({VClass.INT_COMPLEX, VClass.FP, VClass.FDIV})

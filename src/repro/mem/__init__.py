@@ -1,0 +1,24 @@
+"""Coherent memory hierarchy: L1 caches, banked L2 + directory, DRAM."""
+
+from repro.mem.banked import BankMap
+from repro.mem.cache import L1Cache, STATE_M, STATE_S
+from repro.mem.dram import DRAM
+from repro.mem.l2 import L2Cache
+from repro.mem.message import BLOCKED, HIT, MISS, DelayQueue, MemRequest
+from repro.mem.subsystem import MemorySystem, RawPort
+
+__all__ = [
+    "BankMap",
+    "L1Cache",
+    "STATE_M",
+    "STATE_S",
+    "DRAM",
+    "L2Cache",
+    "BLOCKED",
+    "HIT",
+    "MISS",
+    "DelayQueue",
+    "MemRequest",
+    "MemorySystem",
+    "RawPort",
+]

@@ -1,0 +1,46 @@
+"""Bank-interleaved addressing for the reconfigured shared L1 (paper §III-E).
+
+In vector mode the private L1 data caches of the little cores form one
+logically shared multi-bank cache. The bank bits sit **between** the block
+offset and the index bits so that consecutive cache lines map to different
+banks (minimizing bank conflicts for unit-stride streams), and the full
+address above the offset — including the bank bits — remains part of the tag,
+so lines cached in the "wrong" bank before a mode switch stay valid and are
+migrated or evicted lazily by the coherence protocol instead of requiring a
+flush.
+"""
+
+from __future__ import annotations
+
+from repro.utils import is_pow2, log2i
+
+
+class BankMap:
+    """Maps line addresses to banks for an N-bank interleaved cache group."""
+
+    __slots__ = ("nbanks", "line_bytes", "_off_bits", "_bank_bits")
+
+    def __init__(self, nbanks, line_bytes=64):
+        if not is_pow2(nbanks):
+            raise ValueError(f"nbanks must be a power of two, got {nbanks}")
+        if not is_pow2(line_bytes):
+            raise ValueError(f"line_bytes must be a power of two, got {line_bytes}")
+        self.nbanks = nbanks
+        self.line_bytes = line_bytes
+        self._off_bits = log2i(line_bytes)
+        self._bank_bits = log2i(nbanks)
+
+    def bank_of(self, addr):
+        """Bank index for a byte (or line) address."""
+        return (addr >> self._off_bits) & (self.nbanks - 1)
+
+    def index_bits_of(self, addr):
+        """Address bits above bank bits (feed the slice's set index)."""
+        return addr >> (self._off_bits + self._bank_bits)
+
+    def partition_lines(self, lines):
+        """Group line addresses by bank; returns a list of lists."""
+        out = [[] for _ in range(self.nbanks)]
+        for ln in lines:
+            out[self.bank_of(ln)].append(ln)
+        return out

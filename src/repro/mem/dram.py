@@ -1,0 +1,44 @@
+"""Closed-form DRAM timing model.
+
+A single-channel LPDDR-like device: fixed access latency plus a line-service
+interval that caps sustained bandwidth (one 64 B line per ``line_interval``
+cycles — e.g. 4 cycles/line at 1 GHz ≈ 16 GB/s, typical of a mobile SoC).
+Requests are resolved at issue time into a deterministic data-ready cycle,
+which keeps the hot path free of per-cycle ticking.
+"""
+
+from __future__ import annotations
+
+
+class DRAM:
+    """Bandwidth-limited fixed-latency memory."""
+
+    def __init__(self, latency=80, line_interval=4, period=1):
+        if latency < 1 or line_interval < 1:
+            raise ValueError("latency and line_interval must be >= 1")
+        self.latency = latency * period
+        self.line_interval = line_interval * period
+        self.period = period
+        self._next_free = 0
+        # counters
+        self.reads = 0
+        self.writes = 0
+        self.busy_cycles = 0
+
+    def request(self, now, is_write=False):
+        """Issue one line request at cycle ``now``; returns data-ready cycle."""
+        start = now if now >= self._next_free else self._next_free
+        self._next_free = start + self.line_interval
+        self.busy_cycles += self.line_interval // self.period
+        if is_write:
+            self.writes += 1
+            return start + self.line_interval  # write considered done when accepted
+        self.reads += 1
+        return start + self.latency
+
+    def stats(self):
+        return {
+            "dram_reads": self.reads,
+            "dram_writes": self.writes,
+            "dram_busy_cycles": self.busy_cycles,
+        }

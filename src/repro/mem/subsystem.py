@@ -1,0 +1,120 @@
+"""Wiring of the full cache hierarchy for one simulated SoC."""
+
+from __future__ import annotations
+
+from repro.mem.cache import L1Cache
+from repro.mem.dram import DRAM
+from repro.mem.l2 import L2Cache
+from repro.mem.message import DelayQueue
+
+
+class RawPort:
+    """A non-caching L2 client port (used by the decoupled vector engine).
+
+    The owner polls ``pop_ready`` each cycle for ``(line, granted, token)``
+    responses.
+    """
+
+    __slots__ = ("port_id", "resp_queue")
+
+    def __init__(self, port_id, resp_delay=2):
+        self.port_id = port_id
+        self.resp_queue = DelayQueue(resp_delay)
+
+    def pop_ready(self, now):
+        return self.resp_queue.pop_ready(now)
+
+    # raw ports hold no lines, so coherence probes are no-ops
+    def invalidate(self, line):
+        return False
+
+    def downgrade(self, line):
+        return False
+
+
+class MemorySystem:
+    """DRAM + shared L2 + per-core private L1I/L1D caches."""
+
+    def __init__(
+        self,
+        n_big=1,
+        n_little=4,
+        l1_size=32 * 1024,
+        l1_assoc=2,
+        l1_hit_latency=2,
+        l1i_hit_latency=1,
+        l1_mshrs=8,
+        l2_size=1024 * 1024,
+        l2_assoc=8,
+        l2_banks=4,
+        l2_latency=12,
+        dram_latency=80,
+        dram_line_interval=4,
+        line_bytes=64,
+        big_period=1,
+        little_period=1,
+        mem_period=1,
+    ):
+        self.line_bytes = line_bytes
+        self.dram = DRAM(latency=dram_latency, line_interval=dram_line_interval,
+                         period=mem_period)
+        self.l2 = L2Cache(
+            self.dram,
+            size_bytes=l2_size,
+            assoc=l2_assoc,
+            line_bytes=line_bytes,
+            nbanks=l2_banks,
+            latency=l2_latency,
+            period=mem_period,
+        )
+
+        def mk(cid, icache, big):
+            c = L1Cache(
+                cid,
+                l2=self.l2,
+                size_bytes=l1_size,
+                assoc=l1_assoc,
+                line_bytes=line_bytes,
+                hit_latency=l1i_hit_latency if icache else l1_hit_latency,
+                n_mshrs=l1_mshrs * (2 if big else 1),
+                period=big_period if big else little_period,
+            )
+            self.l2.register_client(cid, c, coherent=True)
+            return c
+
+        self.big_l1i = [mk(f"big{i}.l1i", True, True) for i in range(n_big)]
+        self.big_l1d = [mk(f"big{i}.l1d", False, True) for i in range(n_big)]
+        self.little_l1i = [mk(f"lit{i}.l1i", True, False) for i in range(n_little)]
+        self.little_l1d = [mk(f"lit{i}.l1d", False, False) for i in range(n_little)]
+        self._all_l1 = self.big_l1i + self.big_l1d + self.little_l1i + self.little_l1d
+        self._raw_ports = []
+
+    def make_raw_port(self, port_id, resp_delay=2):
+        port = RawPort(port_id, resp_delay=resp_delay)
+        self.l2.register_client(port_id, port, coherent=False)
+        self._raw_ports.append(port)
+        return port
+
+    def tick(self, now):
+        for c in self._all_l1:
+            if c.resp_queue:
+                c.tick(now)
+
+    def data_requests(self):
+        """Core/engine-issued data requests into the memory subsystem
+        (the Fig. 6 metric): L1D accesses plus raw-port line requests."""
+        n = sum(c.accesses for c in self.big_l1d + self.little_l1d)
+        return n
+
+    def fetch_requests(self):
+        """Front-end instruction fetch requests (the Fig. 5 metric)."""
+        return sum(c.accesses for c in self.big_l1i + self.little_l1i)
+
+    def stats(self):
+        out = {}
+        for c in self._all_l1:
+            for k, v in c.stats().items():
+                out[f"{c.cache_id}.{k}"] = v
+        out.update(self.l2.stats())
+        out.update(self.dram.stats())
+        return out

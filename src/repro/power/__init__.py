@@ -1,0 +1,27 @@
+"""Power: DVFS levels (Table VII), system power, Pareto frontiers."""
+
+from repro.power.dvfs import (
+    BIG_LEVELS,
+    DVE_POWER_RATIO,
+    LITTLE_LEVELS,
+    big_level,
+    freqs,
+    grid,
+    little_level,
+    system_power_w,
+)
+from repro.power.model import dominates, energy_j, pareto_frontier
+
+__all__ = [
+    "BIG_LEVELS",
+    "LITTLE_LEVELS",
+    "DVE_POWER_RATIO",
+    "big_level",
+    "little_level",
+    "grid",
+    "freqs",
+    "system_power_w",
+    "pareto_frontier",
+    "dominates",
+    "energy_j",
+]

@@ -1,0 +1,79 @@
+"""DVFS operating points and average power (paper §VII, Table VII).
+
+The paper takes per-cluster average power at each voltage/frequency level
+from Odroid XU+E (Exynos 5410: A15 big + A7 little) measurements [67]. The
+big-core column survives in the available text; the little-core column is
+garbled, so it is reconstructed from the same platform's published A7-vs-A15
+power ratio (~8-12x lower at matched points) with the canonical cubic-ish
+growth across V/f points. Figures 9-11 depend only on the big:little power
+*ratios* across the grid, which this preserves.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+#: big-core levels: name -> (GHz, average W per core)
+BIG_LEVELS = {
+    "b0": (0.8, 0.460),
+    "b1": (1.0, 0.591),
+    "b2": (1.2, 0.841),
+    "b3": (1.4, 1.205),
+}
+
+#: little-core levels: name -> (GHz, average W per core); reconstructed.
+LITTLE_LEVELS = {
+    "l0": (0.6, 0.044),
+    "l1": (0.8, 0.062),
+    "l2": (1.0, 0.089),
+    "l3": (1.2, 0.130),
+}
+
+#: Tarantula ratio (paper §VII): the decoupled vector engine draws ~40%
+#: more power than its out-of-order control core at the same V/f point.
+DVE_POWER_RATIO = 1.4
+
+
+def big_level(name):
+    if name not in BIG_LEVELS:
+        raise ConfigError(f"unknown big level {name!r}")
+    return BIG_LEVELS[name]
+
+
+def little_level(name):
+    if name not in LITTLE_LEVELS:
+        raise ConfigError(f"unknown little level {name!r}")
+    return LITTLE_LEVELS[name]
+
+
+def grid():
+    """All 16 (big, little) level combinations of Table VII."""
+    return [(b, l) for b in BIG_LEVELS for l in LITTLE_LEVELS]
+
+
+def system_power_w(system_name, big="b1", little="l1", n_little=4):
+    """Average power of one simulated system at a DVFS point.
+
+    Follows the paper's assumptions: ``1bIV-4L`` and ``1b-4VL`` draw the same
+    as ``1b-4L`` (the vector-specific components are small FIFOs, power-gated
+    in scalar mode and replacing front-end activity in vector mode); ``1bDV``
+    adds a vector engine at 1.4x the big core's power.
+    """
+    fb, pb = big_level(big)
+    fl, pl = little_level(little)
+    if system_name == "1L":
+        return pl
+    if system_name == "1b":
+        return pb
+    if system_name in ("1bIV",):
+        return pb  # the IVU reuses existing pipelines
+    if system_name == "1bDV":
+        return pb * (1.0 + DVE_POWER_RATIO)
+    if system_name in ("1b-4L", "1bIV-4L", "1b-4VL"):
+        return pb + n_little * pl
+    raise ConfigError(f"unknown system {system_name!r}")
+
+
+def freqs(big="b1", little="l1"):
+    """(big GHz, little GHz) for a pair of level names."""
+    return big_level(big)[0], little_level(little)[0]

@@ -1,0 +1,26 @@
+"""Performance/power aggregation and Pareto frontiers (Figs. 10 & 11)."""
+
+from __future__ import annotations
+
+
+def pareto_frontier(points):
+    """Given (time, power, tag) points (lower is better on both axes),
+    return the subset on the Pareto-optimal frontier, sorted by power."""
+    pts = sorted(points, key=lambda p: (p[1], p[0]))
+    out = []
+    best_time = float("inf")
+    for t, w, tag in pts:
+        if t < best_time:
+            out.append((t, w, tag))
+            best_time = t
+    return out
+
+
+def dominates(a, b):
+    """True if point a=(time, power) dominates b (<= on both, < on one)."""
+    return a[0] <= b[0] and a[1] <= b[1] and (a[0] < b[0] or a[1] < b[1])
+
+
+def energy_j(time_ps, power_w):
+    """Energy of a run in joules."""
+    return time_ps * 1e-12 * power_w

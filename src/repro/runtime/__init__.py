@@ -1,0 +1,5 @@
+"""Work-stealing task runtime model."""
+
+from repro.runtime.workstealing import WorkStealingRuntime
+
+__all__ = ["WorkStealingRuntime"]

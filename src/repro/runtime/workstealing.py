@@ -1,0 +1,189 @@
+"""Work-stealing task runtime model (paper §IV-B).
+
+The paper parallelizes task-parallel applications with a TBB/Cilk-Plus-like
+runtime using random work stealing, and lets each data-parallel task carry
+both a scalar and a vectorized body so the scheduler can run vector tasks on
+the big core (via its integrated vector unit) and scalar tasks on the little
+cores.
+
+We model the runtime at instruction granularity: every scheduling action
+(task spawn, local dequeue, steal, barrier) costs a burst of runtime
+instructions spliced into the worker's instruction stream, so scheduling
+overhead shows up in the same pipelines, caches and branch predictors as the
+application itself — which is exactly why the paper's ``1bIV-4L`` issues more
+instruction fetches than the single-engine systems (Fig. 5).
+
+Phases execute sequentially: an optional serial prologue runs on the big
+core (worker 0 by convention), then the phase's task bag is drained by all
+workers, then an implicit barrier.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.isa.scalar import Op
+from repro.trace.instr import SInstr, Trace
+from repro.trace.source import ChainSource, InstrSource, TraceSource
+from repro.utils import Xorshift64
+
+_RUNTIME_PC = 0x8000  # runtime code region: shared, stays hot in the L1I
+
+
+def _overhead_trace(n, tag):
+    """``n`` ALU-ish instructions at stable runtime PCs."""
+    instrs = []
+    pc = _RUNTIME_PC + tag * 256
+    reg = 1_000_000 + tag  # dedicated runtime registers, self-dependences ok
+    for i in range(n):
+        instrs.append(SInstr(pc + 4 * (i % 16), Op.ADDI, dst=reg + (i % 4)))
+    return Trace(instrs, name=f"rt-{tag}")
+
+
+# stages of a phase
+_SERIAL = 0
+_PARALLEL = 1
+
+
+class _Worker(InstrSource):
+    __slots__ = ("sched", "idx", "vector_capable", "_cur")
+
+    def __init__(self, sched, idx, vector_capable):
+        self.sched = sched
+        self.idx = idx
+        self.vector_capable = vector_capable
+        self._cur = None
+
+    def peek(self):
+        while True:
+            if self._cur is not None and not self._cur.done():
+                return self._cur.peek()
+            self._cur = self.sched._next_work(self)
+            if self._cur is None:
+                return None
+
+    def pop(self):
+        return self._cur.pop()
+
+    def done(self):
+        return self.sched.finished and (self._cur is None or self._cur.done())
+
+
+class WorkStealingRuntime:
+    """Builds one :class:`InstrSource` per worker from a TaskProgram."""
+
+    def __init__(
+        self,
+        program,
+        n_workers,
+        vector_capable=(),
+        seed=12345,
+        spawn_overhead=10,
+        deque_overhead=30,
+        steal_overhead=140,
+        barrier_overhead=60,
+    ):
+        if n_workers < 1:
+            raise WorkloadError("need at least one worker")
+        self.program = program
+        self.n_workers = n_workers
+        self._rng = Xorshift64(seed)
+        self.spawn_overhead = spawn_overhead
+        self.deque_overhead = deque_overhead
+        self.steal_overhead = steal_overhead
+        self.barrier_overhead = barrier_overhead
+
+        caps = list(vector_capable) + [False] * (n_workers - len(vector_capable))
+        self.workers = [_Worker(self, i, caps[i]) for i in range(n_workers)]
+
+        self._phase = 0
+        self._stage = _SERIAL
+        self._tasks = []
+        self._arrived = set()
+        self._serial_given = False
+        self.finished = False
+        self.tasks_executed = 0
+        self.steals = 0
+        self._executed_ids = []
+        self._enter_phase()
+
+    # ---------------------------------------------------------------- phases
+
+    def _enter_phase(self):
+        while self._phase < len(self.program.phases):
+            phase = self.program.phases[self._phase]
+            self._tasks = list(phase.tasks)
+            self._arrived = set()
+            self._serial_given = False
+            if phase.serial is not None:
+                self._stage = _SERIAL
+                return
+            if self._tasks:
+                self._stage = _PARALLEL
+                return
+            self._phase += 1
+        self.finished = True
+
+    def _next_work(self, worker):
+        if self.finished:
+            return None
+        if self._stage == _SERIAL:
+            if worker.idx != 0:
+                return None
+            if not self._serial_given:
+                self._serial_given = True
+                phase = self.program.phases[self._phase]
+                spawn_cost = self.spawn_overhead * len(self._tasks)
+                parts = [TraceSource(phase.serial)]
+                if spawn_cost:
+                    parts.append(TraceSource(_overhead_trace(spawn_cost, tag=1)))
+
+                return ChainSource(parts)
+            # serial body fully consumed by worker 0 -> open the task bag
+            if self._tasks:
+                self._stage = _PARALLEL
+            else:
+                self._phase += 1
+                self._enter_phase()
+                if self.finished:
+                    return None
+            return self._next_work(worker)
+        # parallel stage
+        if self._tasks:
+            task = self._pick_task(worker)
+            self.tasks_executed += 1
+            self._executed_ids.append(task.tid)
+            overhead = self.deque_overhead if worker.idx == 0 else self._grab_cost(worker)
+
+            return ChainSource([
+                TraceSource(_overhead_trace(overhead, tag=2 + worker.idx)),
+                TraceSource(task.trace_for(worker.vector_capable)),
+            ])
+        # barrier
+        self._arrived.add(worker.idx)
+        if len(self._arrived) == self.n_workers:
+            self._phase += 1
+            self._enter_phase()
+            cost = self.barrier_overhead
+
+            return ChainSource([TraceSource(_overhead_trace(cost, tag=10 + worker.idx))])
+        return None
+
+    def _pick_task(self, worker):
+        # random victim selection is what "random work stealing" randomizes;
+        # with a central bag we randomize which task a thief grabs
+        if worker.idx == 0:
+            return self._tasks.pop(0)
+        i = self._rng.randint(0, len(self._tasks) - 1)
+        return self._tasks.pop(i)
+
+    def _grab_cost(self, worker):
+        self.steals += 1
+        return self.steal_overhead
+
+    # ----------------------------------------------------------------- stats
+
+    def stats(self):
+        return {
+            "runtime.tasks": self.tasks_executed,
+            "runtime.steals": self.steals,
+        }

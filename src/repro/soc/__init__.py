@@ -1,0 +1,6 @@
+"""SoC assembly: configurations, system builder, simulation loop."""
+
+from repro.soc.config import MemConfig, SoCConfig, SYSTEM_NAMES, preset
+from repro.soc.system import System, build_system
+
+__all__ = ["MemConfig", "SoCConfig", "SYSTEM_NAMES", "preset", "System", "build_system"]

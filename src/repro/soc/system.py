@@ -1,0 +1,224 @@
+"""System assembly and the multi-clock-domain simulation loop.
+
+All component timing runs in integer picoseconds; each clock domain (big
+cluster, little cluster, memory) ticks its components at its own period, so
+independent big/little voltage-frequency scaling (paper §VII) falls out of
+the same simulation that produces §V's iso-frequency results.
+"""
+
+from __future__ import annotations
+
+from repro.cores import BigCore, LittleCore
+from repro.errors import ConfigError, DeadlockError, WorkloadError
+from repro.mem import MemorySystem
+from repro.runtime.workstealing import WorkStealingRuntime
+from repro.soc.config import SoCConfig
+from repro.stats import RunResult
+from repro.trace import TaskProgram, Trace, TraceSource, single_trace_program
+from repro.vector import DecoupledVectorEngine, VLittleEngine
+
+
+class System:
+    """One simulated SoC built from a :class:`SoCConfig`."""
+
+    def __init__(self, config):
+        if not isinstance(config, SoCConfig):
+            raise ConfigError("System expects a SoCConfig")
+        self.config = config
+        pb, pl, pm = config.period_big(), config.period_little(), config.period_mem()
+        m = config.mem
+        self.ms = MemorySystem(
+            n_big=config.n_big,
+            n_little=config.n_little,
+            l1_size=m.l1_size,
+            l1_assoc=m.l1_assoc,
+            l1_hit_latency=m.l1_hit_latency,
+            l1i_hit_latency=m.l1i_hit_latency,
+            l1_mshrs=m.l1_mshrs,
+            l2_size=m.l2_size,
+            l2_assoc=m.l2_assoc,
+            l2_banks=m.l2_banks,
+            l2_latency=m.l2_latency,
+            dram_latency=m.dram_latency,
+            dram_line_interval=m.dram_line_interval,
+            line_bytes=m.line_bytes,
+            big_period=pb,
+            little_period=pl,
+            mem_period=pm,
+        )
+        self.littles = [
+            LittleCore(f"lit{i}", self.ms.little_l1i[i], self.ms.little_l1d[i],
+                       period=pl, line_bytes=m.line_bytes)
+            for i in range(config.n_little)
+        ]
+        self.engine = None
+        vector_mode = "none"
+        if config.vector == "vlittle":
+            self.engine = VLittleEngine(
+                self.littles,
+                chimes=config.chimes,
+                packed=config.packed,
+                loadq_lines=config.vmu_loadq,
+                storeq_lines=config.vmu_storeq,
+                switch_penalty=config.switch_penalty,
+                vxu_extra_latency=config.vxu_extra_latency,
+                coalesce_width=config.coalesce_width,
+                line_bytes=m.line_bytes,
+                period=pl,
+            )
+            vector_mode = "decoupled"
+        elif config.vector == "dve":
+            port = self.ms.make_raw_port("dve0")
+            self.engine = DecoupledVectorEngine(
+                self.ms.l2, port,
+                vlen_bits=config.dve_vlen_bits,
+                lanes=config.dve_lanes,
+                line_bytes=m.line_bytes,
+                period=pb,
+            )
+            vector_mode = "decoupled"
+        elif config.vector == "ivu":
+            vector_mode = "integrated"
+
+        self.bigs = [
+            BigCore(f"big{i}", self.ms.big_l1i[i], self.ms.big_l1d[i],
+                    vector_mode=vector_mode if i == 0 else "none",
+                    ivu_vlen_bits=config.ivu_vlen_bits,
+                    engine=self.engine if (i == 0 and vector_mode == "decoupled") else None,
+                    period=pb, line_bytes=m.line_bytes)
+            for i in range(config.n_big)
+        ]
+        self.runtime = None
+        self._pb, self._pl, self._pm = pb, pl, pm
+
+    # ------------------------------------------------------------------- run
+
+    def load(self, program):
+        """Attach a workload: a Trace or a TaskProgram."""
+        if isinstance(program, Trace):
+            program = single_trace_program(program)
+        if not isinstance(program, TaskProgram):
+            raise WorkloadError("load() expects a Trace or TaskProgram")
+        self._name = program.name
+        if program.total_tasks == 0:
+            # pure serial: one trace on the fastest core available
+            traces = [p.serial for p in program.phases if p.serial is not None]
+            if len(traces) != 1:
+                raise WorkloadError("a serial program must have exactly one trace")
+            src = TraceSource(traces[0])
+            if self.bigs:
+                self.bigs[0].set_source(src)
+            else:
+                self.littles[0].set_source(src)
+            return
+        # task-parallel: the VLITTLE cluster runs in *scalar mode* — the paper
+        # guarantees it behaves exactly like the equivalent big.LITTLE system
+        # (§V-A), so the engine is bypassed and the cores re-enabled
+        if isinstance(self.engine, VLittleEngine):
+            for c in self.littles:
+                c.active = True
+                c.l1d.set_private_mode()
+            if self.bigs:
+                self.bigs[0].vector_mode = "none"
+                self.bigs[0].engine = None
+            self.engine = None
+        # work-stealing runtime over every active core
+        workers = []
+        caps = []
+        for b in self.bigs:
+            workers.append(b)
+            caps.append(self.config.vector == "ivu")
+        for l in self.littles:
+            if l.active:
+                workers.append(l)
+                caps.append(False)
+        if not workers:
+            raise WorkloadError("no active cores to run tasks on")
+        self.runtime = WorkStealingRuntime(program, len(workers), vector_capable=caps)
+        for w, worker_src in zip(workers, self.runtime.workers):
+            w.set_source(worker_src)
+
+    def run(self, program=None, max_ns=50_000_000, quiet=True):
+        """Simulate to completion; returns a :class:`RunResult`."""
+        if program is not None:
+            self.load(program)
+        pb, pl, pm = self._pb, self._pl, self._pm
+        bigs, littles, engine, ms = self.bigs, self.littles, self.engine, self.ms
+        t_big = t_little = t_mem = 0
+        t = 0
+        max_ps = max_ns * 1000
+        last_progress_check = 0
+        last_instrs = -1
+
+        while t < max_ps:
+            t = min(t_big, t_little, t_mem)
+            if t == t_big:
+                for c in bigs:
+                    c.set_now_hint(t)
+                    c.tick(t)
+                if engine is not None and isinstance(engine, DecoupledVectorEngine):
+                    engine.tick(t)
+                t_big += pb
+            if t == t_little:
+                for c in littles:
+                    c.tick(t)
+                if engine is not None and isinstance(engine, VLittleEngine):
+                    engine.tick(t)
+                t_little += pl
+            if t == t_mem:
+                ms.tick(t)
+                t_mem += pm
+            if self._done():
+                return self._result(t + max(pb, pl, pm))
+            # watchdog (window must exceed any legitimate idle period,
+            # e.g. a long mode-switch penalty)
+            if t - last_progress_check >= 20_000_000:  # every ~20k ns
+                last_progress_check = t
+                instrs = sum(c.instrs for c in bigs) + sum(c.instrs for c in littles)
+                instrs += ms.dram.reads + ms.dram.writes  # memory-side progress
+                if engine is not None:
+                    instrs += getattr(engine, "instrs", 0)
+                    if isinstance(engine, VLittleEngine):
+                        instrs += sum(l.uops_issued for l in engine.lanes)
+                if instrs == last_instrs:
+                    raise DeadlockError(t, f"no instruction progress in system {self.config.name}")
+                last_instrs = instrs
+        raise DeadlockError(t, f"exceeded max_ns={max_ns}")
+
+    def _done(self):
+        for c in self.bigs:
+            if not c.done():
+                return False
+        for c in self.littles:
+            if c.active and not c.done():
+                return False
+        if self.engine is not None and not self.engine.idle():
+            return False
+        if self.runtime is not None and not self.runtime.finished:
+            return False
+        return True
+
+    # ----------------------------------------------------------------- stats
+
+    def _result(self, t_ps):
+        stats = {}
+        stats["time_ps"] = t_ps
+        stats["cycles_1ghz"] = t_ps // 1000
+        stats["fetch_requests"] = self.ms.fetch_requests()
+        data_reqs = self.ms.data_requests()
+        if isinstance(self.engine, DecoupledVectorEngine):
+            data_reqs += self.engine.line_reqs
+        stats["data_requests"] = data_reqs
+        for c in self.bigs + self.littles:
+            stats.update(c.stats())
+        if self.engine is not None:
+            stats.update(self.engine.stats())
+        if self.runtime is not None:
+            stats.update(self.runtime.stats())
+        stats.update(self.ms.stats())
+        name = getattr(self, "_name", "")
+        return RunResult(name, self.config.name, t_ps // 1000, stats)
+
+
+def build_system(config):
+    return System(config)

@@ -1,0 +1,49 @@
+"""Simple named counters and run-result containers."""
+
+from __future__ import annotations
+
+
+class Counters:
+    """A dict-backed counter bag with merge support."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self):
+        self._c = {}
+
+    def add(self, name, n=1):
+        self._c[name] = self._c.get(name, 0) + n
+
+    def get(self, name, default=0):
+        return self._c.get(name, default)
+
+    def merge(self, other):
+        for k, v in other._c.items():
+            self.add(k, v)
+
+    def as_dict(self):
+        return dict(self._c)
+
+    def __getitem__(self, name):
+        return self._c.get(name, 0)
+
+    def __repr__(self):
+        return f"<Counters {self._c}>"
+
+
+class RunResult:
+    """Outcome of one simulated run: cycles plus the full stat dump."""
+
+    __slots__ = ("name", "system", "cycles", "stats")
+
+    def __init__(self, name, system, cycles, stats):
+        self.name = name
+        self.system = system
+        self.cycles = cycles
+        self.stats = stats
+
+    def __getitem__(self, key):
+        return self.stats.get(key, 0)
+
+    def __repr__(self):
+        return f"<RunResult {self.system}:{self.name} cycles={self.cycles}>"

@@ -1,0 +1,99 @@
+"""Instruction sources: where a core's front end pulls instructions from.
+
+A source decouples "what to execute next" from "how it is timed": fixed
+traces (single-threaded programs) and the work-stealing runtime (which splices
+task bodies and runtime-overhead sequences together at run time) present the
+same pull interface to the core models.
+"""
+
+from __future__ import annotations
+
+
+class InstrSource:
+    """Pull interface used by core front ends.
+
+    ``peek()`` returns the next instruction without consuming it, or ``None``
+    if no instruction is currently available (the core idles and the stall is
+    attributed by the caller). ``pop()`` consumes it. ``done()`` is True once
+    the source will never produce again.
+    """
+
+    def peek(self):
+        raise NotImplementedError
+
+    def pop(self):
+        raise NotImplementedError
+
+    def done(self):
+        raise NotImplementedError
+
+
+class TraceSource(InstrSource):
+    """A fixed pre-generated trace."""
+
+    __slots__ = ("_instrs", "_pos")
+
+    def __init__(self, trace):
+        self._instrs = trace.instrs if hasattr(trace, "instrs") else list(trace)
+        self._pos = 0
+
+    def peek(self):
+        if self._pos < len(self._instrs):
+            return self._instrs[self._pos]
+        return None
+
+    def pop(self):
+        ins = self._instrs[self._pos]
+        self._pos += 1
+        return ins
+
+    def done(self):
+        return self._pos >= len(self._instrs)
+
+    @property
+    def remaining(self):
+        return len(self._instrs) - self._pos
+
+
+class ChainSource(InstrSource):
+    """Concatenate several sources (used to splice runtime overhead + task)."""
+
+    __slots__ = ("_sources", "_idx")
+
+    def __init__(self, sources=()):
+        self._sources = list(sources)
+        self._idx = 0
+
+    def append(self, source):
+        self._sources.append(source)
+
+    def _advance(self):
+        while self._idx < len(self._sources) and self._sources[self._idx].done():
+            self._idx += 1
+
+    def peek(self):
+        self._advance()
+        if self._idx < len(self._sources):
+            return self._sources[self._idx].peek()
+        return None
+
+    def pop(self):
+        self._advance()
+        return self._sources[self._idx].pop()
+
+    def done(self):
+        self._advance()
+        return self._idx >= len(self._sources)
+
+
+class EmptySource(InstrSource):
+    """A source that never produces (idle core)."""
+
+    def peek(self):
+        return None
+
+    def pop(self):
+        raise IndexError("pop from EmptySource")
+
+    def done(self):
+        return True

@@ -1,0 +1,86 @@
+"""Tasks, phases, and task programs for the work-stealing runtime model.
+
+The paper parallelizes task-parallel (Ligra) applications with a TBB/Cilk-like
+random work-stealing runtime, and gives each data-parallel task *two* bodies —
+scalar and vectorized — so the ``1bIV-4L`` system can run vector tasks on the
+big core and scalar tasks on the little cores (§IV-B). This module models that
+structure:
+
+* :class:`Task` — a unit of work with per-core-kind trace variants.
+* :class:`Phase` — an optional serial (big-core) prologue trace plus a bag of
+  tasks separated from the next phase by a barrier (Ligra's per-iteration
+  ``parallel_for`` + frontier swap).
+* :class:`TaskProgram` — an ordered list of phases.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.trace.instr import Trace
+
+
+class Task:
+    """A schedulable unit of work.
+
+    ``traces`` maps a variant name (``"scalar"``, ``"vector"``) to a
+    :class:`Trace`. A scalar variant is mandatory — every core can run it; the
+    vector variant is optional and only used by cores with a vector unit.
+    """
+
+    __slots__ = ("tid", "traces")
+
+    def __init__(self, tid, traces):
+        if "scalar" not in traces:
+            raise WorkloadError(f"task {tid} lacks the mandatory scalar variant")
+        self.tid = tid
+        self.traces = traces
+
+    def trace_for(self, vector_capable):
+        """Pick the best variant for a core."""
+        if vector_capable and "vector" in self.traces:
+            return self.traces["vector"]
+        return self.traces["scalar"]
+
+    def __repr__(self):
+        return f"<Task {self.tid} variants={sorted(self.traces)}>"
+
+
+class Phase:
+    """Tasks between two barriers, with an optional serial prologue."""
+
+    __slots__ = ("tasks", "serial")
+
+    def __init__(self, tasks=(), serial=None):
+        self.tasks = list(tasks)
+        self.serial = serial
+
+    def __repr__(self):
+        return f"<Phase serial={self.serial is not None} ntasks={len(self.tasks)}>"
+
+
+class TaskProgram:
+    """An ordered sequence of phases executed by the runtime model."""
+
+    __slots__ = ("phases", "name")
+
+    def __init__(self, phases, name=""):
+        self.phases = list(phases)
+        self.name = name
+
+    @property
+    def total_tasks(self):
+        return sum(len(p.tasks) for p in self.phases)
+
+    def all_tasks(self):
+        for p in self.phases:
+            yield from p.tasks
+
+    def __repr__(self):
+        return f"<TaskProgram {self.name!r} phases={len(self.phases)} tasks={self.total_tasks}>"
+
+
+def single_trace_program(trace, name=""):
+    """Wrap a single-threaded trace as a one-phase TaskProgram (serial only)."""
+    if not isinstance(trace, Trace):
+        raise WorkloadError("single_trace_program expects a Trace")
+    return TaskProgram([Phase(tasks=(), serial=trace)], name=name or trace.name)

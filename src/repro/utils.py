@@ -1,0 +1,91 @@
+"""Small shared helpers: address math, geometric means, deterministic RNG."""
+
+from __future__ import annotations
+
+import math
+
+
+def is_pow2(x: int) -> bool:
+    """Return True if ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def log2i(x: int) -> int:
+    """Integer log2 of a power of two; raises ValueError otherwise."""
+    if not is_pow2(x):
+        raise ValueError(f"{x} is not a positive power of two")
+    return x.bit_length() - 1
+
+
+def align_down(addr: int, granule: int) -> int:
+    """Align ``addr`` down to a power-of-two ``granule``."""
+    return addr & ~(granule - 1)
+
+
+def align_up(addr: int, granule: int) -> int:
+    """Align ``addr`` up to a power-of-two ``granule``."""
+    return (addr + granule - 1) & ~(granule - 1)
+
+
+def line_addr(addr: int, line_bytes: int = 64) -> int:
+    """Cache-line address containing ``addr``."""
+    return addr & ~(line_bytes - 1)
+
+
+def lines_spanned(addr: int, nbytes: int, line_bytes: int = 64):
+    """Yield the cache-line addresses touched by [addr, addr+nbytes)."""
+    if nbytes <= 0:
+        return
+    first = line_addr(addr, line_bytes)
+    last = line_addr(addr + nbytes - 1, line_bytes)
+    for a in range(first, last + 1, line_bytes):
+        yield a
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive values; 0.0 for an empty sequence."""
+    vals = list(values)
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division."""
+    return -(-a // b)
+
+
+class Xorshift64:
+    """Tiny deterministic PRNG so traces never depend on Python's hash seed.
+
+    Used by workload generators and the work-stealing victim selection; the
+    simulator must be bit-reproducible across runs for the tests to be
+    meaningful.
+    """
+
+    __slots__ = ("state",)
+
+    def __init__(self, seed: int = 0x9E3779B97F4A7C15):
+        if seed == 0:
+            seed = 0x2545F4914F6CDD1D
+        self.state = seed & 0xFFFFFFFFFFFFFFFF
+
+    def next(self) -> int:
+        x = self.state
+        x ^= (x << 13) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 7
+        x ^= (x << 17) & 0xFFFFFFFFFFFFFFFF
+        self.state = x
+        return x
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi]."""
+        if hi < lo:
+            raise ValueError("empty range")
+        return lo + self.next() % (hi - lo + 1)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return (self.next() >> 11) / float(1 << 53)

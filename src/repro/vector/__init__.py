@@ -1,0 +1,18 @@
+"""Vector engines: the VLITTLE engine (paper's contribution), the aggressive
+decoupled engine (``1bDV`` baseline), and the cross-element / memory units."""
+
+from repro.vector.dve import DecoupledVectorEngine
+from repro.vector.vlittle import VLittleEngine
+from repro.vector.vmu import VectorMemoryUnit, VMSU, VLU, VSU, LineReq
+from repro.vector.vxu import VXU
+
+__all__ = [
+    "DecoupledVectorEngine",
+    "VLittleEngine",
+    "VectorMemoryUnit",
+    "VMSU",
+    "VLU",
+    "VSU",
+    "LineReq",
+    "VXU",
+]

@@ -1,0 +1,261 @@
+"""Aggressive decoupled vector engine — the ``1bDV`` baseline (paper Fig. 3).
+
+Tarantula-class resources: a 2048-bit vector register file, sixteen 32-bit
+execution lanes (a 64-element instruction executes in 4 chimes), deep command
+and data buffers, and a private high-bandwidth port into the shared L2 that
+can issue multiple cache-line requests per cycle with many in flight.
+
+Memory decoupling is first-class: load instructions start fetching their
+lines the moment the big core dispatches them (well before the compute
+pipeline reaches them); the compute side is a single in-order issue pipe
+whose dependences are tracked through producer sequence ids.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cores.fu import DEFAULT_LATENCY
+from repro.errors import ConfigError
+from repro.isa.scalar import FUClass
+from repro.isa.vector import VClass, VOp, VOP_CLASS, VOP_IS_LOAD, VOP_IS_STORE
+from repro.utils import ceil_div
+
+_CLS_FU = {
+    VClass.INT_SIMPLE: FUClass.ALU,
+    VClass.INT_COMPLEX: FUClass.DIV,
+    VClass.FP: FUClass.FPU,
+    VClass.FDIV: FUClass.FDIV,
+    VClass.MASK: FUClass.ALU,
+    VClass.MOVE: FUClass.ALU,
+}
+
+
+class _LoadTracker:
+    __slots__ = ("seq", "lines", "arrived", "ready_time")
+
+    def __init__(self, seq, lines):
+        self.seq = seq
+        self.lines = lines
+        self.arrived = 0
+        self.ready_time = None
+
+
+class DecoupledVectorEngine:
+    """Engine interface: ``can_accept`` / ``dispatch`` / ``tick`` / ``idle``."""
+
+    def __init__(
+        self,
+        l2,
+        port,
+        vlen_bits=2048,
+        lanes=16,
+        cmdq_depth=64,
+        loadq_lines=64,
+        max_inflight=32,
+        lines_per_cycle=2,
+        line_bytes=64,
+        period=1,
+    ):
+        if vlen_bits % 64:
+            raise ConfigError("VLEN must be a multiple of 64")
+        self.l2 = l2
+        self.port = port
+        self.vlen_bits = vlen_bits
+        self.lanes = lanes
+        self.cmdq_depth = cmdq_depth
+        self.loadq_lines = loadq_lines
+        self.max_inflight = max_inflight
+        self.lines_per_cycle = lines_per_cycle
+        self.line_bytes = line_bytes
+        self.period = period
+
+        self._cmdq = deque()  # (ins, respond)
+        self._vready = {}  # producer seq -> cycle its register value is ready
+        self._trackers = {}  # seq -> _LoadTracker
+        self._line_to_tracker = {}  # token -> tracker
+        self._pending_reqs = deque()  # (line, tracker) awaiting issue to L2
+        self._inflight = 0
+        self._loadq_used = 0
+        self._store_outstanding = 0
+        self._pipe_free = 0
+        self._token = 0
+
+        # counters
+        self.instrs = 0
+        self.line_reqs = 0
+        self.store_line_reqs = 0
+
+    # ------------------------------------------------------------- interface
+
+    def vlmax(self, ew):
+        return self.vlen_bits // (8 * ew)
+
+    def can_accept(self, now):
+        return len(self._cmdq) < self.cmdq_depth
+
+    def dispatch(self, ins, now, respond=None):
+        self.instrs += 1
+        if ins.op == VOp.VSETVL:
+            # the grant depends only on avl and vtype — no need to traverse
+            # the command queue; respond right away so the big core's ROB
+            # head never serializes on strip-mine bookkeeping
+            if respond:
+                respond(now + 2 * self.period)
+            return
+        self._cmdq.append([ins, respond, False])  # [ins, respond, started]
+        if VOP_IS_LOAD[ins.op]:
+            # decoupling: begin fetching lines immediately
+            lines = self._lines_of(ins)
+            tracker = _LoadTracker(ins.seq, len(lines))
+            self._trackers[ins.seq] = tracker
+            for line in lines:
+                self._pending_reqs.append((line, tracker))
+
+    def idle(self):
+        return (
+            not self._cmdq
+            and not self._pending_reqs
+            and self._inflight == 0
+            and self._store_outstanding == 0
+        )
+
+    # ----------------------------------------------------------------- tick
+
+    def tick(self, now):
+        self._mem_tick(now)
+        self._compute_tick(now)
+
+    def _mem_tick(self, now):
+        # responses from the L2
+        while True:
+            resp = self.port.pop_ready(now)
+            if resp is None:
+                break
+            line, granted, token = resp
+            tr = self._line_to_tracker.pop(token, None)
+            self._inflight -= 1
+            if tr is None:
+                self._store_outstanding -= 1
+                continue
+            tr.arrived += 1
+            if tr.arrived == tr.lines:
+                tr.ready_time = now
+        # issue new line requests
+        issued = 0
+        while (
+            self._pending_reqs
+            and issued < self.lines_per_cycle
+            and self._inflight < self.max_inflight
+            and self._loadq_used < self.loadq_lines
+        ):
+            line, tr = self._pending_reqs.popleft()
+            token = self._token
+            self._token += 1
+            self._line_to_tracker[token] = tr
+            self._l2_request(line, False, now, token)
+            self._inflight += 1
+            self._loadq_used += 1
+            self.line_reqs += 1
+            issued += 1
+
+    def _l2_request(self, line, is_write, now, token):
+        # the raw port was registered with the L2 under its port_id
+        self.l2.request(self.port.port_id, line, is_write, now, token=token)
+
+    def _compute_tick(self, now):
+        if self._cmdq and self._cmdq[0][2]:
+            if self._pop_at <= now:
+                self._cmdq.popleft()
+            else:
+                return
+        if not self._cmdq:
+            return
+        ins, respond, started = self._cmdq[0]
+        cls = VOP_CLASS[ins.op]
+        nchimes = max(1, ceil_div(max(ins.vl, 1), self.lanes))
+
+        P = self.period
+        if ins.op == VOp.VMFENCE:
+            if self._inflight == 0 and self._store_outstanding == 0 and not self._pending_reqs:
+                self._finish(now + P)
+            return
+        # register dependences
+        for dep in ins.dep_ids:
+            if self._vready.get(dep, 0) > now:
+                return
+        if self._pipe_free > now:
+            return
+
+        if VOP_IS_LOAD[ins.op]:
+            tr = self._trackers.get(ins.seq)
+            if tr is None or tr.ready_time is None or tr.ready_time > now:
+                return
+            # write back over the chimes; free load-queue lines
+            done = now + nchimes * P
+            self._vready[ins.seq] = done + P
+            self._pipe_free = done
+            self._loadq_used -= tr.lines
+            del self._trackers[ins.seq]
+            self._finish(done)
+            return
+        if VOP_IS_STORE[ins.op]:
+            lines = self._lines_of(ins)
+            for line in lines:
+                token = self._token
+                self._token += 1
+                self._store_outstanding += 1
+                self._inflight += 1
+                self._l2_request(line, True, now, token)
+                self.line_reqs += 1
+                self.store_line_reqs += 1
+            done = now + nchimes * P
+            self._pipe_free = done
+            self._finish(done)
+            return
+        if cls in (VClass.CROSS_PERM, VClass.CROSS_RED):
+            lat = (max(ins.vl, 1) + DEFAULT_LATENCY[FUClass.FPU]) * P
+            done = now + lat
+            self._vready[ins.seq] = done
+            self._pipe_free = done
+            if respond:
+                respond(done + 2 * P)
+            self._finish(done)
+            return
+        # plain arithmetic: chime-pipelined over the wide lanes
+        fu = _CLS_FU.get(cls, FUClass.ALU)
+        lat = DEFAULT_LATENCY[fu] * P
+        occupancy = (nchimes if fu not in (FUClass.DIV, FUClass.FDIV)
+                     else nchimes * DEFAULT_LATENCY[fu]) * P
+        done = now + occupancy
+        self._vready[ins.seq] = done + lat
+        self._pipe_free = done
+        if respond:
+            respond(done + lat + 2 * P)
+        self._finish(done)
+
+    def _finish(self, at):
+        """Mark the head instruction as started; it pops when ``at`` passes."""
+        self._cmdq[0][2] = True
+        self._pop_at = at
+
+    # head popping folded into tick entry to keep the FSM tiny
+    _pop_at = -1
+
+    def _lines_of(self, ins):
+        seen = []
+        last = None
+        for a in ins.element_addrs():
+            ln = a // self.line_bytes * self.line_bytes
+            if ln != last:
+                if ln not in seen[-4:]:
+                    seen.append(ln)
+                last = ln
+        return seen
+
+    def stats(self):
+        return {
+            "dve.instrs": self.instrs,
+            "dve.line_reqs": self.line_reqs,
+            "dve.store_line_reqs": self.store_line_reqs,
+        }

@@ -1,0 +1,483 @@
+"""The VLITTLE engine: little cores reconfigured as a decoupled vector engine.
+
+This module implements the paper's §III end to end:
+
+* The **VCU** receives vector instructions dispatched from the head of the
+  big core's ROB, buffers them in command/data FIFOs, forwards memory ops to
+  the VMIU *immediately* (memory/compute decoupling), expands every
+  instruction into per-element-group (chime) µops, and broadcasts one µop per
+  cycle over a pipelined bus — but only when **every** target lane can accept
+  it (lockstep issue; the blocked cycles of the other lanes are the paper's
+  ``simd`` stall category).
+* Each **lane** is a little core's back end: the scalar register file holds
+  the vector elements (chime 0 in the integer registers, chime 1 in the FP
+  registers, ``pack`` consecutive elements per 64-bit register — Fig. 2); the
+  lane issues µops in order against its own functional units. Packed simple
+  integer ops process both sub-elements in one cycle; complex integer and all
+  FP ops serialize over the packed sub-elements (§III-C).
+* The **VXU** ring and the **VMU** (VMIU/VMSU/VLU/VSU) come from their own
+  modules.
+* Mode switching costs a fixed penalty (default 500 cycles — §IV-A) applied
+  when the first vector instruction arrives, modeling context save and
+  pipeline flushes; the little cores' L1Ds are switched to bank-interleaved
+  shared indexing, and their front ends (plus the L1Is, whose SRAM now backs
+  the VMU data queues) are disabled.
+
+Per-cycle, per-lane stall attribution matches Figure 7 exactly:
+``busy / simd / raw_mem / raw_llfu / struct / xelem / misc``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cores.fu import DEFAULT_LATENCY
+from repro.errors import ConfigError
+from repro.isa.scalar import FUClass
+from repro.isa.vector import (
+    PACK_SERIALIZED,
+    VClass,
+    VOp,
+    VOP_CLASS,
+    VOP_IS_LOAD,
+    VOP_IS_MEM,
+    VOP_IS_STORE,
+)
+from repro.mem.banked import BankMap
+from repro.stats.breakdown import Breakdown, Stall
+from repro.utils import ceil_div
+from repro.vector.vmu import VectorMemoryUnit
+from repro.vector.vxu import VXU
+
+# µop kinds
+EXEC = 0
+LDWB = 1
+STDATA = 2
+IDXADDR = 3
+VXREAD = 4
+VXWRITE = 5
+VXREDUCE = 6
+MOVEXS = 7
+FENCE_MARK = 8
+
+_CLS_FU = {
+    VClass.INT_SIMPLE: FUClass.ALU,
+    VClass.INT_COMPLEX: FUClass.DIV,
+    VClass.FP: FUClass.FPU,
+    VClass.FDIV: FUClass.FDIV,
+    VClass.MASK: FUClass.ALU,
+    VClass.MOVE: FUClass.ALU,
+    VClass.CTRL: FUClass.ALU,
+    VClass.CROSS_PERM: FUClass.ALU,
+    VClass.CROSS_RED: FUClass.FPU,
+}
+
+
+class Uop:
+    __slots__ = ("kind", "ins", "chime", "lane_only")
+
+    def __init__(self, kind, ins, chime=0, lane_only=None):
+        self.kind = kind
+        self.ins = ins
+        self.chime = chime
+        self.lane_only = lane_only  # None = broadcast to all lanes
+
+
+class Lane:
+    """One little core's back end operating as a vector lane."""
+
+    __slots__ = ("engine", "idx", "fu", "latch", "avail", "ready", "arrived",
+                 "busy_until", "breakdown", "uops_issued")
+
+    def __init__(self, engine, idx, fu):
+        self.engine = engine
+        self.idx = idx
+        self.fu = fu
+        self.latch = None
+        self.avail = 0
+        self.ready = {}  # (seq, chime) -> cycle the lane's slice is ready
+        self.arrived = {}  # (seq, chime) -> [elements arrived, last arrival]
+        self.busy_until = 0
+        self.breakdown = Breakdown()
+        self.uops_issued = 0
+
+    # ------------------------------------------------------------------ tick
+
+    def tick(self, now):
+        """Returns 'busy', 'empty', or a Stall category for this cycle."""
+        if self.latch is None or self.avail > now:
+            return "empty"
+        uop = self.latch
+        status = self._try_issue(uop, now)
+        if status is None:
+            self.latch = None
+            self.uops_issued += 1
+            return "busy"
+        return status
+
+    def _deps_ready(self, ins, chime, now):
+        """None if ready, else the stall category to charge."""
+        for dep in ins.dep_ids:
+            t = self.ready.get((dep, chime))
+            if t is None:
+                t = self.ready.get((dep, 0), 0)
+            if t > now:
+                return self.engine.seq_kind(dep)
+        return None
+
+    def _try_issue(self, uop, now):
+        eng = self.engine
+        ins = uop.ins
+        kind = uop.kind
+        if kind == EXEC:
+            stall = self._deps_ready(ins, uop.chime, now)
+            if stall is not None:
+                return stall
+            if self.busy_until > now:
+                return Stall.STRUCT
+            cls = VOP_CLASS[ins.op]
+            fu = _CLS_FU[cls]
+            occ = eng.pack_for(ins.ew) if cls in PACK_SERIALIZED else 1
+            # in vector mode the dividers sustain one element per cycle per
+            # lane (paper §V-A: "four complex integer and floating-point
+            # operations per cycle"); packed sub-elements still serialize
+            lat = self.fu.try_issue(fu, now, occupancy=occ)
+            if lat is None:
+                return Stall.STRUCT
+            P = eng.period
+            self.busy_until = now + occ * P
+            self.ready[(ins.seq, uop.chime)] = now + (occ - 1) * P + lat
+            return None
+        if kind == LDWB:
+            expected = eng.elem_count(ins.seq, uop.chime, self.idx)
+            if expected:
+                a = self.arrived.get((ins.seq, uop.chime))
+                if a is None or a[0] < expected or a[1] > now:
+                    return Stall.RAW_MEM
+                eng.vmu.vlu.consume(self.idx, expected)
+            extra = 1 if VOP_CLASS[ins.op] == VClass.MEM_INDEX else 0
+            self.ready[(ins.seq, uop.chime)] = now + (1 + extra) * eng.period
+            return None
+        if kind == STDATA:
+            stall = self._deps_ready(ins, uop.chime, now)
+            if stall is not None:
+                return stall
+            if self.busy_until > now:
+                return Stall.STRUCT
+            count = eng.elem_count(ins.seq, uop.chime, self.idx)
+            self.busy_until = now + eng.period
+            eng.vmu.vsu.credit(ins.seq, count, now + 2 * eng.period)
+            if VOP_CLASS[ins.op] == VClass.MEM_INDEX:
+                eng.vmu.credit_indexed(ins.seq, count)
+            return None
+        if kind == IDXADDR:
+            stall = self._deps_ready(ins, uop.chime, now)
+            if stall is not None:
+                return stall
+            count = eng.elem_count(ins.seq, uop.chime, self.idx)
+            eng.vmu.credit_indexed(ins.seq, count)
+            return None
+        if kind == VXREAD:
+            stall = self._deps_ready(ins, uop.chime, now)
+            if stall is not None:
+                return stall
+            eng.vxu.read_arrived(ins.seq, now + eng.period)
+            return None
+        if kind == VXWRITE:
+            if not eng.vxu.result_ready(ins.seq, now):
+                return Stall.XELEM
+            self.ready[(ins.seq, uop.chime)] = now + eng.period
+            eng.vxwrite_done(ins.seq)
+            return None
+        if kind == VXREDUCE:
+            if not eng.vxu.result_ready(ins.seq, now):
+                return Stall.XELEM
+            lat = DEFAULT_LATENCY[FUClass.FPU] * eng.period
+            self.ready[(ins.seq, 0)] = now + lat
+            eng.cross_done(ins.seq, now + lat)
+            return None
+        if kind == MOVEXS:
+            stall = self._deps_ready(ins, 0, now)
+            if stall is not None:
+                return stall
+            eng.movexs_done(ins.seq, now + eng.period)
+            return None
+        raise ConfigError(f"unknown µop kind {kind}")
+
+
+class VLittleEngine:
+    """Engine interface used by the big core: can_accept / dispatch / tick."""
+
+    def __init__(
+        self,
+        cores,
+        chimes=2,
+        packed=True,
+        uopq_depth=96,
+        dataq_depth=8,
+        switch_penalty=500,
+        loadq_lines=64,
+        storeq_lines=64,
+        vxu_extra_latency=2,
+        coalesce_width=4,
+        line_bytes=64,
+        period=1,
+    ):
+        if not cores:
+            raise ConfigError("VLITTLE engine needs at least one little core")
+        if chimes not in (1, 2):
+            raise ConfigError("chimes must be 1 (int regs) or 2 (int+fp regs)")
+        self.cores = list(cores)
+        self.lanes_count = len(cores)
+        self.chimes = chimes
+        self.packed = packed
+        self.uopq_depth = uopq_depth
+        self.dataq_depth = dataq_depth
+        self.switch_penalty = switch_penalty
+        self.period = period
+
+        # reconfigure: front ends off, L1Ds become a banked shared cache,
+        # L1I SRAMs become the VMU's data queues
+        self.bank_map = BankMap(self.lanes_count, line_bytes)
+        l1ds = []
+        for c in self.cores:
+            c.active = False
+            c.l1d.set_banked_mode(self.lanes_count)
+            # the repurposed L1I SRAM also tracks outstanding requests, so a
+            # slice sustains far more misses in flight than a scalar core
+            c.l1d.n_mshrs = max(c.l1d.n_mshrs, 32)
+            l1ds.append(c.l1d)
+        self.lanes = [Lane(self, i, c.fu) for i, c in enumerate(self.cores)]
+        self.vmu = VectorMemoryUnit(self, l1ds, self.bank_map,
+                                    loadq_lines=loadq_lines,
+                                    storeq_lines=storeq_lines,
+                                    coalesce_width=coalesce_width)
+        self.vxu = VXU(self.lanes_count, extra_latency=vxu_extra_latency,
+                       period=period)
+
+        self._uopq = deque()
+        self._dataq_used = 0
+        self._ready_at = None
+        self._seq_kind = {}  # producer seq -> stall kind its consumers charge
+        self._elem_expected = {}  # seq -> {(chime, lane): count}
+        self._cross = {}  # seq -> dict(writes_left, respond, started)
+        self._fence_buffer = []  # mem instrs registered after a pending fence
+        self._fences_pending = 0
+        self._dataq_release = set()  # id(µop) whose broadcast frees a slot
+
+        self.instrs = 0
+        self.mode_switches = 0
+
+    # ---------------------------------------------------------- geometry
+
+    def pack_for(self, ew):
+        return max(1, 8 // ew) if self.packed else 1
+
+    def vlmax(self, ew):
+        return self.chimes * self.lanes_count * self.pack_for(ew)
+
+    def vlen_bits(self, ew=4):
+        return self.vlmax(ew) * ew * 8
+
+    def elem_count(self, seq, chime, lane):
+        m = self._elem_expected.get(seq)
+        if m is None:
+            return 0
+        return m.get((chime, lane), 0)
+
+    def set_elem_expected(self, seq, expected):
+        self._elem_expected[seq] = expected
+
+    def seq_kind(self, seq):
+        return self._seq_kind.get(seq, Stall.MISC)
+
+    # --------------------------------------------------------- dispatch side
+
+    def can_accept(self, now):
+        if self._ready_at is None:
+            # the OS switches the cluster into vector mode on first use
+            self._ready_at = now + self.switch_penalty * self.period
+            self.mode_switches += 1
+        if now < self._ready_at:
+            return False
+        return (
+            len(self._uopq) < self.uopq_depth
+            and self.vmu.cmd_space()
+            and self._dataq_used < self.dataq_depth
+        )
+
+    def end_region(self):
+        """OS switched the cluster back to scalar mode (CSR write): the next
+        vector region pays the switch penalty again (§III-B)."""
+        self._ready_at = None
+
+    def dispatch(self, ins, now, respond=None):
+        self.instrs += 1
+        op = ins.op
+        if ins.rd is None and op != VOp.VSETVL:
+            respond = None  # nothing to send back to the big core
+        if op == VOp.VSETVL:
+            if ins.vl > self.vlmax(ins.ew):
+                raise ConfigError(
+                    f"trace grants vl={ins.vl} but engine vlmax={self.vlmax(ins.ew)}"
+                    " — the trace was generated for a different VLEN"
+                )
+            if respond:
+                respond(now + 2 * self.period)
+            return
+        if op == VOp.VMFENCE:
+            self._fences_pending += 1
+            self._uopq.append(Uop(FENCE_MARK, ins))
+            return
+        if ins.rs:
+            self._dataq_used += 1
+        nch = max(1, ceil_div(ins.vl, self.lanes_count * self.pack_for(ins.ew)))
+        cls = VOP_CLASS[op]
+        if VOP_IS_MEM[op]:
+            if self._fences_pending:
+                self._fence_buffer.append(ins)
+            else:
+                self.vmu.register(ins)
+            self._seq_kind[ins.seq] = Stall.RAW_MEM
+            if VOP_IS_LOAD[op]:
+                uops = []
+                if cls == VClass.MEM_INDEX:
+                    uops += [Uop(IDXADDR, ins, c) for c in range(nch)]
+                uops += [Uop(LDWB, ins, c) for c in range(nch)]
+            else:
+                uops = [Uop(STDATA, ins, c) for c in range(nch)]
+        elif op == VOp.VMV_XS:
+            self._cross[ins.seq] = {"respond": respond, "writes_left": 0}
+            uops = [Uop(MOVEXS, ins, 0, lane_only=0)]
+        elif cls == VClass.CROSS_PERM:
+            self._seq_kind[ins.seq] = Stall.RAW_LLFU
+            self._cross[ins.seq] = {"respond": respond,
+                                    "writes_left": nch * self.lanes_count,
+                                    "nelems": ins.vl, "reads": nch * self.lanes_count}
+            uops = [Uop(VXREAD, ins, c) for c in range(nch)]
+            uops += [Uop(VXWRITE, ins, c) for c in range(nch)]
+        elif cls == VClass.CROSS_RED:
+            self._seq_kind[ins.seq] = Stall.RAW_LLFU
+            self._cross[ins.seq] = {"respond": respond, "writes_left": 0,
+                                    "nelems": ins.vl, "reads": nch * self.lanes_count}
+            uops = [Uop(VXREAD, ins, c) for c in range(nch)]
+            uops.append(Uop(VXREDUCE, ins, 0, lane_only=0))
+        else:
+            fu = _CLS_FU[cls]
+            self._seq_kind[ins.seq] = (
+                Stall.RAW_LLFU if DEFAULT_LATENCY[fu] >= 3 else Stall.MISC
+            )
+            uops = [Uop(EXEC, ins, c) for c in range(nch)]
+        self._uopq.extend(uops)
+        if ins.rs:
+            if uops:
+                # the scalar value occupies a data-queue slot until the last
+                # µop of its instruction is broadcast to the lanes
+                self._dataq_release.add(id(uops[-1]))
+            else:
+                self._dataq_used -= 1
+
+    # ------------------------------------------------------- lane callbacks
+
+    def deliver_load(self, seq, chime, lane, count, at):
+        a = self.lanes[lane].arrived.setdefault((seq, chime), [0, 0])
+        a[0] += count
+        if at > a[1]:
+            a[1] = at
+
+    def vxwrite_done(self, seq):
+        c = self._cross.get(seq)
+        if c is None:
+            return
+        c["writes_left"] -= 1
+        if c["writes_left"] <= 0:
+            self.vxu.finish(seq)
+            self._cross.pop(seq, None)
+
+    def cross_done(self, seq, ready_time):
+        c = self._cross.pop(seq, None)
+        self.vxu.finish(seq)
+        if c and c.get("respond"):
+            c["respond"](ready_time + 2 * self.period)
+
+    def movexs_done(self, seq, ready_time):
+        c = self._cross.pop(seq, None)
+        if c and c.get("respond"):
+            c["respond"](ready_time + 2 * self.period)
+
+    # ------------------------------------------------------------------ tick
+
+    def idle(self):
+        return (
+            not self._uopq
+            and all(l.latch is None for l in self.lanes)
+            and self.vmu.idle()
+            and not self.vxu.busy()
+        )
+
+    def tick(self, now):
+        self.vmu.tick(now)
+        statuses = [lane.tick(now) for lane in self.lanes]
+        reason = self._broadcast(now)
+        for lane, st in zip(self.lanes, statuses):
+            if st == "busy":
+                lane.breakdown.add(Stall.BUSY)
+            elif st == "empty":
+                lane.breakdown.add(reason)
+            else:
+                lane.breakdown.add(st)
+
+    def _broadcast(self, now):
+        """Try to broadcast the head µop; returns the stall category idle
+        lanes should be charged with this cycle."""
+        if not self._uopq:
+            return Stall.MISC
+        uop = self._uopq[0]
+        if uop.kind == FENCE_MARK:
+            if self.vmu.idle() and all(l.latch is None for l in self.lanes):
+                self._uopq.popleft()
+                self._fences_pending -= 1
+                if self._fences_pending == 0:
+                    for ins in self._fence_buffer:
+                        self.vmu.register(ins)
+                    self._fence_buffer.clear()
+            return Stall.MISC
+        if uop.kind in (VXREAD, VXWRITE, VXREDUCE):
+            if self.vxu.busy() and self.vxu.active.seq != uop.ins.seq:
+                return Stall.XELEM
+            if uop.kind == VXREAD and (not self.vxu.busy()):
+                c = self._cross[uop.ins.seq]
+                self.vxu.start(uop.ins.seq, c["nelems"], c["reads"])
+        targets = self.lanes if uop.lane_only is None else [self.lanes[uop.lane_only]]
+        if any(l.latch is not None for l in targets):
+            return Stall.SIMD
+        for l in targets:
+            l.latch = uop
+            l.avail = now + self.period
+        self._uopq.popleft()
+        if id(uop) in self._dataq_release:
+            self._dataq_release.discard(id(uop))
+            self._dataq_used -= 1
+        return Stall.MISC
+
+    # ----------------------------------------------------------------- stats
+
+    def breakdown(self):
+        """Merged per-lane breakdown (Figure 7's 'average of four cores')."""
+        out = Breakdown()
+        for l in self.lanes:
+            out = out.merged_with(l.breakdown)
+        return out
+
+    def stats(self):
+        out = {
+            "vlittle.instrs": self.instrs,
+            "vlittle.mode_switches": self.mode_switches,
+            "vlittle.uops": sum(l.uops_issued for l in self.lanes),
+            "vlittle.xops": self.vxu.ops_completed,
+        }
+        out.update(self.vmu.stats())
+        merged = self.breakdown()
+        for name, v in merged.as_dict().items():
+            out[f"vlittle.lane_stall.{name}"] = v
+        return out

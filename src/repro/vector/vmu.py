@@ -1,0 +1,359 @@
+"""Vector memory unit of the VLITTLE engine (paper §III-E).
+
+* **VMIU** — receives memory commands from the VCU the moment the big core
+  dispatches them (decoupling), generates one cache-line request per cycle
+  from base+stride, coalesces up to four indexed elements per cycle, and
+  routes each request to the VMSU owning its bank.
+* **VMSU** (one per little-core L1D slice) — a store-address CAM disambiguates
+  loads against outstanding stores; load and store data live in FIFOs carved
+  from the (idle) L1I SRAM arrays, whose depth is the Figure 8 sweep knob.
+* **VLU** — returns load lines strictly in request order, slicing each into
+  per-lane element groups pushed into the lanes' load queues.
+* **VSU** — collects per-element store data from the lanes and releases each
+  store line to its VMSU once assembled.
+
+Element-to-lane geometry: element ``i`` of a ``vl``-element instruction lives
+in chime ``i // (lanes*pack)`` and lane ``(i % (lanes*pack)) // pack`` — the
+paper's Figure 2 mapping with ``pack`` consecutive elements packed into one
+64-bit scalar register.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.isa.vector import VClass, VOP_CLASS, VOP_IS_LOAD
+from repro.mem.message import BLOCKED, HIT
+
+_INF = 1 << 60
+
+
+class LineReq:
+    __slots__ = ("rid", "line", "is_write", "seq", "deliveries", "data_ready",
+                 "store_data_at", "nelems")
+
+    def __init__(self, rid, line, is_write, seq, deliveries, nelems):
+        self.rid = rid
+        self.line = line
+        self.is_write = is_write
+        self.seq = seq
+        self.deliveries = deliveries  # [(chime, lane, count)]
+        self.data_ready = None  # loads: cycle line data arrived from the L1D
+        self.store_data_at = None  # stores: cycle the VSU assembled the data
+        self.nelems = nelems
+
+
+class _MemCmd:
+    """Per-instruction bookkeeping created when the VCU registers a memory op."""
+
+    __slots__ = ("ins", "lines", "next_line", "indexed", "addr_credits",
+                 "next_elem", "elem_lines", "elem_cl")
+
+    def __init__(self, ins, lines, indexed, elem_lines, elem_cl):
+        self.ins = ins
+        self.lines = lines  # [(line, deliveries, nelems)] in element order
+        self.next_line = 0
+        self.indexed = indexed
+        self.addr_credits = 0  # indexed: element addresses received from lanes
+        self.next_elem = 0
+        self.elem_lines = elem_lines  # indexed: per-element line addr
+        self.elem_cl = elem_cl  # per-element (chime, lane)
+
+
+class VectorMemoryUnit:
+    def __init__(self, engine, l1ds, bank_map, loadq_lines=64, storeq_lines=64,
+                 vmsu_inq_depth=4, coalesce_width=4):
+        self.engine = engine
+        self.bank_map = bank_map
+        self.coalesce_width = coalesce_width
+        self._cmdq = deque()
+        self._rid = 0
+        self.vmsus = [VMSU(self, i, l1d, loadq_lines, storeq_lines, vmsu_inq_depth)
+                      for i, l1d in enumerate(l1ds)]
+        self.vlu = VLU(engine)
+        self.vsu = VSU(engine)
+        # counters
+        self.line_reqs = 0
+        self.store_line_reqs = 0
+
+    # ---------------------------------------------------------- VCU interface
+
+    def cmd_space(self):
+        return len(self._cmdq) < 64
+
+    def register(self, ins):
+        """Accept a memory instruction (called at dispatch — decoupling)."""
+        lanes, pack = self.engine.lanes_count, self.engine.pack_for(ins.ew)
+        epc = lanes * pack
+        cls = VOP_CLASS[ins.op]
+        indexed = cls == VClass.MEM_INDEX
+        addrs = ins.element_addrs()
+        lb = self.bank_map.line_bytes
+        elem_cl = [((i // epc), (i % epc) // pack) for i in range(len(addrs))]
+        elem_lines = [a // lb * lb for a in addrs]
+        lines = []
+        cur_line, cur_deliv, cur_n = None, None, 0
+        for i, ln in enumerate(elem_lines):
+            if ln != cur_line:
+                if cur_line is not None:
+                    lines.append((cur_line, cur_deliv, cur_n))
+                cur_line, cur_deliv, cur_n = ln, {}, 0
+            key = elem_cl[i]
+            cur_deliv[key] = cur_deliv.get(key, 0) + 1
+            cur_n += 1
+        if cur_line is not None:
+            lines.append((cur_line, cur_deliv, cur_n))
+        cmd = _MemCmd(ins, lines, indexed, elem_lines, elem_cl)
+        self._cmdq.append(cmd)
+        # per-(chime, lane) element counts drive the lanes' LDWB/STDATA µops
+        expected = {}
+        for c, l in elem_cl:
+            expected[(c, l)] = expected.get((c, l), 0) + 1
+        self.engine.set_elem_expected(ins.seq, expected)
+        if not VOP_IS_LOAD[ins.op]:
+            self.vsu.register_store(ins.seq, len(addrs))
+
+    def credit_indexed(self, seq, count):
+        """Lanes delivered ``count`` element addresses for instruction seq."""
+        for cmd in self._cmdq:
+            if cmd.ins.seq == seq:
+                cmd.addr_credits += count
+                return
+        # command already fully issued (late credits are harmless)
+
+    def idle(self):
+        return (not self._cmdq and all(v.idle() for v in self.vmsus)
+                and self.vlu.idle() and self.vsu.idle())
+
+    # ------------------------------------------------------------------ tick
+
+    def tick(self, now):
+        for v in self.vmsus:
+            v.tick(now)
+        self.vsu.tick(now)
+        self.vlu.tick(now)
+        self._vmiu_tick(now)
+
+    def _vmiu_tick(self, now):
+        """Generate at most one line request per cycle (shared command bus)."""
+        if not self._cmdq:
+            return
+        cmd = self._cmdq[0]
+        if cmd.next_line >= len(cmd.lines):
+            self._cmdq.popleft()
+            return
+        line, deliveries, nelems = cmd.lines[cmd.next_line]
+        if cmd.indexed:
+            # only issue once the lanes have produced the addresses of every
+            # element in this line-group (coalescing window <= 4 elements)
+            need = cmd.next_elem + min(nelems, self.coalesce_width)
+            if cmd.addr_credits < need:
+                return
+        is_write = not VOP_IS_LOAD[cmd.ins.op]
+        bank = self.bank_map.bank_of(line)
+        vmsu = self.vmsus[bank]
+        if not vmsu.can_accept():
+            return
+        req = LineReq(self._rid, line, is_write,
+                      cmd.ins.seq, list(deliveries.items()), nelems)
+        self._rid += 1
+        self.line_reqs += 1
+        if is_write:
+            self.store_line_reqs += 1
+        vmsu.push(req, now)
+        if not is_write:
+            self.vlu.pending.append(req)
+        else:
+            self.vsu.pending.append(req)
+        cmd.next_line += 1
+        cmd.next_elem += nelems
+        if cmd.next_line >= len(cmd.lines):
+            self._cmdq.popleft()
+
+    def stats(self):
+        return {
+            "vmu.line_reqs": self.line_reqs,
+            "vmu.store_line_reqs": self.store_line_reqs,
+            "vmu.load_blocked_on_cam": sum(v.cam_stalls for v in self.vmsus),
+            "vmu.ldq_full_stalls": sum(v.ldq_full_stalls for v in self.vmsus),
+        }
+
+
+class VMSU:
+    """Vector memory slice unit: front end of one L1D bank slice."""
+
+    def __init__(self, vmu, bank, l1d, loadq_lines, storeq_lines, inq_depth):
+        self.vmu = vmu
+        self.bank = bank
+        self.l1d = l1d
+        self.loadq_lines = loadq_lines
+        self.storeq_lines = storeq_lines
+        self.inq_depth = inq_depth
+        self.inq = deque()
+        self.ldq_used = 0
+        self.sdq = deque()  # store LineReqs waiting for data / L1D write
+        self.cam = {}  # line -> count of outstanding stores to it
+        self._store_fills = 0  # write misses completing inside the L1D
+        self._port_cycle = -1
+        self.cam_stalls = 0
+        self.ldq_full_stalls = 0
+
+    def can_accept(self):
+        return len(self.inq) < self.inq_depth
+
+    def push(self, req, now):
+        self.inq.append(req)
+
+    def idle(self):
+        return (not self.inq and not self.sdq and self.ldq_used == 0
+                and self._store_fills == 0)
+
+    def tick(self, now):
+        self._accept_tick(now)
+        self._store_write_tick(now)
+
+    def _accept_tick(self, now):
+        if not self.inq:
+            return
+        req = self.inq[0]
+        if req.is_write:
+            if len(self.sdq) >= self.storeq_lines:
+                return
+            # the store enters the CAM only now: the in-order inq guarantees
+            # it is older than every load still queued behind it
+            self.cam[req.line] = self.cam.get(req.line, 0) + 1
+            self.sdq.append(req)
+            self.inq.popleft()
+            return
+        # load: RAW disambiguation against queued stores to the same line
+        if self.cam.get(req.line):
+            self.cam_stalls += 1
+            return
+        if self.ldq_used >= self.loadq_lines:
+            self.ldq_full_stalls += 1
+            return
+        if self._port_cycle == now:
+            return
+        res, ready = self.l1d.access(req.line, False, now, waiter=self._fill_waiter(req))
+        if res == BLOCKED:
+            return
+        self._port_cycle = now
+        if res == HIT:
+            req.data_ready = ready
+        self.ldq_used += 1
+        self.inq.popleft()
+
+    def _fill_waiter(self, req):
+        def waiter(line, ready):
+            req.data_ready = ready
+
+        return waiter
+
+    def _store_write_tick(self, now):
+        """Issue the oldest data-complete store to the L1D slice. The CAM
+        entry clears as soon as the store is *sent to memory* (paper §III-E:
+        loads stall only "until the store request is sent to the memory
+        subsystem"); a write miss finishes inside the cache via its MSHR."""
+        if not self.sdq or self._port_cycle == now:
+            return
+        req = self.sdq[0]
+        if req.store_data_at is None or req.store_data_at > now:
+            return
+        res, ready = self.l1d.access(req.line, True, now, waiter=self._store_done_waiter())
+        if res == BLOCKED:
+            self._store_fills -= 1
+            return
+        self._port_cycle = now
+        if res == HIT:
+            self._store_fills -= 1
+        self._retire_store()
+
+    def _store_done_waiter(self):
+        self._store_fills += 1
+
+        def waiter(line, ready):
+            self._store_fills -= 1
+
+        return waiter
+
+    def _retire_store(self):
+        req = self.sdq.popleft()
+        n = self.cam.get(req.line, 0) - 1
+        if n <= 0:
+            self.cam.pop(req.line, None)
+        else:
+            self.cam[req.line] = n
+
+
+class VLU:
+    """Vector load unit: strict in-order line return, sliced per lane."""
+
+    def __init__(self, engine, lane_q_elems=32):
+        self.engine = engine
+        self.pending = deque()  # load LineReqs in request order
+        self.lane_q_elems = lane_q_elems
+        self.lane_q_used = [0] * engine.lanes_count
+        self.lane_q_stalls = 0
+
+    def idle(self):
+        return not self.pending
+
+    def tick(self, now):
+        if not self.pending:
+            return
+        req = self.pending[0]
+        if req.data_ready is None or req.data_ready > now:
+            return
+        for (chime, lane), count in req.deliveries:
+            if self.lane_q_used[lane] + count > self.lane_q_elems:
+                self.lane_q_stalls += 1
+                return
+        for (chime, lane), count in req.deliveries:
+            self.lane_q_used[lane] += count
+            self.engine.deliver_load(req.seq, chime, lane, count,
+                                     now + self.engine.period)
+        self.pending.popleft()
+        # free the slice's SRAM load-queue entry
+        bank = self.engine.vmu.bank_map.bank_of(req.line)
+        self.engine.vmu.vmsus[bank].ldq_used -= 1
+
+    def consume(self, lane, count):
+        """A lane's load-writeback µop drained ``count`` elements."""
+        self.lane_q_used[lane] -= count
+
+
+class VSU:
+    """Vector store unit: assembles store lines from per-lane element data."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.pending = deque()  # store LineReqs in request order
+        self._have = {}  # seq -> (elements received, last arrival cycle)
+        self._need = {}  # seq -> total elements
+
+    def register_store(self, seq, nelems):
+        self._need[seq] = nelems
+        self._have.setdefault(seq, [0, 0])
+
+    def credit(self, seq, count, at):
+        h = self._have.setdefault(seq, [0, 0])
+        h[0] += count
+        if at > h[1]:
+            h[1] = at
+
+    def idle(self):
+        return not self.pending
+
+    def tick(self, now):
+        if not self.pending:
+            return
+        req = self.pending[0]
+        if req.store_data_at is not None:
+            self.pending.popleft()
+            return
+        h = self._have.get(req.seq)
+        need = self._need.get(req.seq, 0)
+        if h is None or h[0] < need or h[1] > now:
+            return
+        req.store_data_at = now + self.engine.period
+        self.pending.popleft()

@@ -1,0 +1,63 @@
+"""Vector cross-element unit: a pipelined uni-directional ring (paper §III-D).
+
+All little cores sit on a one-hop-per-cycle ring. A cross-element instruction
+first gathers its source elements from the lanes (``vxread`` µops), then the
+ring rotates the values — after N cycles every requester has seen every
+source element — and the results are written back (``vxwrite`` µops) or
+reduced on the first lane (``vxreduce``). The VXU processes at most one
+cross-element instruction at a time; the VCU holds subsequent ones back.
+"""
+
+from __future__ import annotations
+
+
+class CrossOp:
+    __slots__ = ("seq", "nelems", "reads_needed", "reads_done", "complete_at")
+
+    def __init__(self, seq, nelems, reads_needed):
+        self.seq = seq
+        self.nelems = nelems
+        self.reads_needed = reads_needed
+        self.reads_done = 0
+        self.complete_at = None
+
+
+class VXU:
+    def __init__(self, nlanes, extra_latency=2, period=1):
+        self.nlanes = nlanes
+        self.extra_latency = extra_latency
+        self.period = period
+        self.active = None  # at most one CrossOp in flight
+        self.ops_completed = 0
+
+    def busy(self):
+        return self.active is not None
+
+    def start(self, seq, nelems, reads_needed):
+        if self.active is not None:
+            raise RuntimeError("VXU already has an outstanding cross-element op")
+        self.active = CrossOp(seq, nelems, max(reads_needed, 1))
+
+    def read_arrived(self, seq, now):
+        """A lane executed a vxread µop; once all arrive, the ring rotates."""
+        op = self.active
+        if op is None or op.seq != seq:
+            return
+        op.reads_done += 1
+        if op.reads_done >= op.reads_needed:
+            # full rotation: one hop per cycle for each source element
+            op.complete_at = now + (op.nelems + self.extra_latency) * self.period
+
+    def result_ready(self, seq, now):
+        op = self.active
+        return (
+            op is not None
+            and op.seq == seq
+            and op.complete_at is not None
+            and op.complete_at <= now
+        )
+
+    def finish(self, seq):
+        if self.active is not None and self.active.seq == seq:
+            self.active = None
+            self.ops_completed += 1

@@ -1,0 +1,42 @@
+"""Workloads: kernels, Rodinia/RiVec/genomics data-parallel apps, Ligra
+task-parallel graph apps (paper Tables IV & V)."""
+
+from repro.workloads.common import (
+    REGISTRY,
+    SCALES,
+    Alloc,
+    ChunkedDataParallel,
+    Workload,
+    chunk_ranges,
+    get_workload,
+    register,
+    workloads_by_kind,
+)
+
+# importing the suites populates the registry
+from repro.workloads import genomics, kernels, ligra, rivec, rodinia  # noqa: F401
+from repro.workloads.graphs import Graph, bfs_levels, make_rmat
+
+KERNELS = workloads_by_kind("kernel")
+DATA_PARALLEL = workloads_by_kind("data-parallel")
+TASK_PARALLEL = workloads_by_kind("task-parallel")
+VECTORIZABLE = KERNELS + DATA_PARALLEL
+
+__all__ = [
+    "REGISTRY",
+    "SCALES",
+    "Alloc",
+    "ChunkedDataParallel",
+    "Workload",
+    "chunk_ranges",
+    "get_workload",
+    "register",
+    "workloads_by_kind",
+    "Graph",
+    "bfs_levels",
+    "make_rmat",
+    "KERNELS",
+    "DATA_PARALLEL",
+    "TASK_PARALLEL",
+    "VECTORIZABLE",
+]

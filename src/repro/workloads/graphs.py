@@ -1,0 +1,129 @@
+"""Synthetic power-law graph generation (rMAT) and CSR layout.
+
+The paper evaluates Ligra applications on real-world-like graphs; we generate
+Kronecker/rMAT graphs (the standard synthetic stand-in, used by Graph500 and
+by Ligra's own inputs) with the classic (0.57, 0.19, 0.19, 0.05) quadrant
+probabilities, symmetrized, deduplicated, laid out in CSR form.
+"""
+
+from __future__ import annotations
+
+from repro.utils import Xorshift64, log2i, is_pow2
+
+
+class Graph:
+    """Undirected graph in CSR form."""
+
+    __slots__ = ("n", "offsets", "edges")
+
+    def __init__(self, n, adj):
+        self.n = n
+        self.offsets = [0] * (n + 1)
+        self.edges = []
+        for v in range(n):
+            self.offsets[v] = len(self.edges)
+            self.edges.extend(adj[v])
+        self.offsets[n] = len(self.edges)
+
+    @property
+    def m(self):
+        return len(self.edges)
+
+    def degree(self, v):
+        return self.offsets[v + 1] - self.offsets[v]
+
+    def neighbors(self, v):
+        return self.edges[self.offsets[v]:self.offsets[v + 1]]
+
+
+def make_rmat(n, avg_degree=8, seed=42, a=0.57, b=0.19, c=0.19):
+    """Generate an undirected rMAT graph with ~n*avg_degree/2 distinct edges."""
+    if not is_pow2(n):
+        raise ValueError(f"rMAT size must be a power of two, got {n}")
+    levels = log2i(n)
+    rng = Xorshift64(seed)
+    target = n * avg_degree // 2
+    seen = set()
+    adj = [[] for _ in range(n)]
+    attempts = 0
+    while len(seen) < target and attempts < target * 20:
+        attempts += 1
+        u = v = 0
+        for _ in range(levels):
+            r = rng.random()
+            if r < a:
+                q = (0, 0)
+            elif r < a + b:
+                q = (0, 1)
+            elif r < a + b + c:
+                q = (1, 0)
+            else:
+                q = (1, 1)
+            u = (u << 1) | q[0]
+            v = (v << 1) | q[1]
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        adj[u].append(v)
+        adj[v].append(u)
+    for lst in adj:
+        lst.sort()
+    # connect isolated vertices to vertex 0 so traversals cover the graph
+    for v in range(1, n):
+        if not adj[v]:
+            adj[v].append(0)
+            adj[0].append(v)
+    adj[0].sort()
+    return Graph(n, adj)
+
+
+def make_uniform(n, avg_degree=8, seed=42):
+    """Erdos-Renyi-style uniform random graph (contrast to rMAT's skew)."""
+    if not is_pow2(n):
+        raise ValueError(f"size must be a power of two, got {n}")
+    rng = Xorshift64(seed)
+    target = n * avg_degree // 2
+    seen = set()
+    adj = [[] for _ in range(n)]
+    attempts = 0
+    while len(seen) < target and attempts < target * 20:
+        attempts += 1
+        u = rng.randint(0, n - 1)
+        v = rng.randint(0, n - 1)
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        adj[u].append(v)
+        adj[v].append(u)
+    for lst in adj:
+        lst.sort()
+    for v in range(1, n):
+        if not adj[v]:
+            adj[v].append(0)
+            adj[0].append(v)
+    adj[0].sort()
+    return Graph(n, adj)
+
+
+def bfs_levels(graph, root=0):
+    """Level sets of a BFS from ``root`` (the phases of a Ligra BFS)."""
+    level = {root: 0}
+    frontier = [root]
+    levels = [frontier]
+    while frontier:
+        nxt = []
+        for v in frontier:
+            for w in graph.neighbors(v):
+                if w not in level:
+                    level[w] = level[v] + 1
+                    nxt.append(w)
+        if nxt:
+            levels.append(nxt)
+        frontier = nxt
+    return levels

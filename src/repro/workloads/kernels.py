@@ -1,0 +1,150 @@
+"""The three study kernels: vvadd, mmult, saxpy (paper Table IV)."""
+
+from __future__ import annotations
+
+from repro.workloads.common import ChunkedDataParallel, chunk_ranges, register
+from repro.trace import Phase, Task, TaskProgram
+
+
+@register
+class VVAdd(ChunkedDataParallel):
+    """Integer vector addition: c[i] = a[i] + b[i]. Memory-bound."""
+
+    name = "vvadd"
+    suite = "kernel"
+    kind = "kernel"
+
+    def _params(self, scale):
+        n = {"tiny": 512, "small": 4096, "full": 32768}[scale]
+        return {
+            "n": n,
+            "a": self.alloc.array(n),
+            "b": self.alloc.array(n),
+            "c": self.alloc.array(n),
+        }
+
+    def _n(self):
+        return self.params["n"]
+
+    def _emit_scalar(self, tb, start, stop):
+        p = self.params
+        with tb.loop(stop - start) as loop:
+            for i in loop:
+                j = start + i
+                ra = tb.lw(p["a"] + 4 * j)
+                rb = tb.lw(p["b"] + 4 * j)
+                rc = tb.add(ra, rb)
+                tb.sw(rc, p["c"] + 4 * j)
+
+    def _emit_vector(self, tb, vb, start, stop):
+        p = self.params
+        off = 4 * start
+        for base_off, vl in vb.strip_mine(p["a"] + off, stop - start, ew=4):
+            delta = base_off - p["a"]
+            va = vb.vle(p["a"] + delta, vl=vl)
+            vb_ = vb.vle(p["b"] + delta, vl=vl)
+            vc = vb.vadd(va, vb_)
+            vb.vse(vc, p["c"] + delta, vl=vl)
+
+
+@register
+class Saxpy(ChunkedDataParallel):
+    """Single-precision a*X + Y. Streaming FP, memory-bound."""
+
+    name = "saxpy"
+    suite = "kernel"
+    kind = "kernel"
+
+    def _params(self, scale):
+        n = {"tiny": 512, "small": 4096, "full": 32768}[scale]
+        return {"n": n, "x": self.alloc.array(n), "y": self.alloc.array(n)}
+
+    def _n(self):
+        return self.params["n"]
+
+    def _emit_scalar(self, tb, start, stop):
+        p = self.params
+        ra = tb.li()  # the scalar a
+        with tb.loop(stop - start) as loop:
+            for i in loop:
+                j = start + i
+                rx = tb.flw(p["x"] + 4 * j)
+                ry = tb.flw(p["y"] + 4 * j)
+                rm = tb.fmadd(rx, ra, ry)
+                tb.fsw(rm, p["y"] + 4 * j)
+
+    def _emit_vector(self, tb, vb, start, stop):
+        p = self.params
+        ra = tb.li()
+        vb.vsetvl(stop - start, ew=4)
+        va = vb.vmv_v_x(ra)  # broadcast a once, outside the strip loop
+        for base_off, vl in vb.strip_mine(p["x"] + 4 * start, stop - start, ew=4):
+            delta = base_off - p["x"]
+            vx = vb.vle(p["x"] + delta, vl=vl)
+            vy = vb.vle(p["y"] + delta, vl=vl)
+            vs = vb.vfmacc(vy, va, vx)
+            vb.vse(vs, p["y"] + delta, vl=vl)
+
+
+@register
+class MMult(ChunkedDataParallel):
+    """Dense FP matrix multiply C = A x B (i-k-j order, vectorized over j).
+
+    Compute-bound with reuse: the vectorized inner loop broadcasts A[i][k]
+    and runs a fused multiply-accumulate across a row slice of B.
+    """
+
+    name = "mmult"
+    suite = "kernel"
+    kind = "kernel"
+
+    def _params(self, scale):
+        n = {"tiny": 8, "small": 20, "full": 48}[scale]
+        return {
+            "n": n,
+            "A": self.alloc.array(n * n),
+            "B": self.alloc.array(n * n),
+            "C": self.alloc.array(n * n),
+        }
+
+    def _n(self):
+        # parallel/vector dimension is the output row index i
+        return self.params["n"]
+
+    def _emit_scalar(self, tb, start, stop):
+        p = self.params
+        n = p["n"]
+        with tb.loop(stop - start) as rows:
+            for ii in rows:
+                i = start + ii
+                with tb.loop(n) as kloop:
+                    for k in kloop:
+                        ra = tb.flw(p["A"] + 4 * (i * n + k))
+                        with tb.loop(n) as jloop:
+                            for j in jloop:
+                                rb = tb.flw(p["B"] + 4 * (k * n + j))
+                                rc = tb.flw(p["C"] + 4 * (i * n + j))
+                                rs = tb.fmadd(ra, rb, rc)
+                                tb.fsw(rs, p["C"] + 4 * (i * n + j))
+
+    def _emit_vector(self, tb, vb, start, stop):
+        p = self.params
+        n = p["n"]
+        with tb.loop(stop - start) as rows:
+            for ii in rows:
+                i = start + ii
+                # strip over the j dimension; accumulate in a register
+                rem = n
+                j0 = 0
+                while rem > 0:
+                    vl = vb.vsetvl(rem, ew=4)
+                    vc = vb.vle(p["C"] + 4 * (i * n + j0), vl=vl)
+                    with tb.loop(n) as kloop:
+                        for k in kloop:
+                            ra = tb.flw(p["A"] + 4 * (i * n + k))
+                            vbrow = vb.vle(p["B"] + 4 * (k * n + j0), vl=vl)
+                            vsc = vb.vmv_v_x(ra)
+                            vc = vb.vfmacc(vc, vsc, vbrow)
+                    vb.vse(vc, p["C"] + 4 * (i * n + j0), vl=vl)
+                    rem -= vl
+                    j0 += vl

@@ -1,0 +1,422 @@
+"""Ligra task-parallel graph applications (paper Table IV).
+
+All eight applications share the Ligra structure: iterations (phases) of an
+``edgeMap``/``vertexMap`` over an active vertex set, separated by barriers,
+with a small serial frontier-management step between iterations. The active
+sets are computed functionally in Python (the algorithms really run, on the
+real rMAT graph); the emitted traces then perform the corresponding memory
+accesses and compute per vertex, so load balance, cache behaviour and
+runtime overheads are all faithful to the algorithm's actual shape.
+
+These applications are irregular and branchy — the workloads the paper uses
+to show that a big decoupled vector engine is wasted silicon for a large
+class of mobile code (Fig. 4, task-parallel half).
+"""
+
+from __future__ import annotations
+
+from repro.trace import Phase, Task, TaskProgram
+from repro.workloads.common import Workload, chunk_ranges, register
+from repro.workloads.graphs import bfs_levels, make_rmat, make_uniform
+
+_GRAPH_SIZES = {"tiny": (128, 6), "small": (512, 8), "full": (2048, 10)}
+
+
+class LigraApp(Workload):
+    """Base: builds the graph, lays out CSR arrays, assembles phases.
+
+    ``graph_kind`` selects the input topology: ``"rmat"`` (power-law, the
+    default and the paper's implied inputs) or ``"uniform"`` (Erdos-Renyi,
+    for topology-sensitivity studies).
+    """
+
+    kind = "task-parallel"
+    suite = "ligra"
+    chunk_vertices = 48
+
+    def __init__(self, scale="small", seed=1, graph_kind="rmat"):
+        self.graph_kind = graph_kind
+        super().__init__(scale=scale, seed=seed)
+
+    def _params(self, scale):
+        n, deg = _GRAPH_SIZES[scale]
+        gen = {"rmat": make_rmat, "uniform": make_uniform}[self.graph_kind]
+        g = gen(n, avg_degree=deg, seed=self.seed + 7)
+        params = {
+            "g": g,
+            "off": self.alloc.array(g.n + 1),
+            "edge": self.alloc.array(g.m),
+        }
+        params.update(self._app_arrays(g))
+        return params
+
+    def _app_arrays(self, g):
+        return {"data": self.alloc.array(g.n)}
+
+    # -- per-app hooks --------------------------------------------------------
+
+    def _compute_phases(self):
+        """Return a list of active-vertex lists, one per iteration."""
+        raise NotImplementedError
+
+    def _emit_vertex(self, tb, v, phase_idx):
+        raise NotImplementedError
+
+    # -- shared emission ------------------------------------------------------
+
+    def _emit_edge_scan(self, tb, v, per_edge):
+        """Canonical Ligra edgeMap inner loop for vertex ``v``."""
+        p = self.params
+        g = p["g"]
+        tb.lw(p["off"] + 4 * v)
+        tb.lw(p["off"] + 4 * (v + 1))
+        nghs = g.neighbors(v)
+        e0 = g.offsets[v]
+        with tb.loop(len(nghs)) as loop:
+            for k in loop:
+                ngh = nghs[k]
+                re = tb.lw(p["edge"] + 4 * (e0 + k))
+                per_edge(tb, v, ngh, re)
+
+    def _serial_step(self, tb, n_active):
+        """Frontier swap / bookkeeping between iterations."""
+        self._region(tb, ("serial",))
+        with tb.loop(max(4, min(n_active, 64)), overhead=False) as loop:
+            for _ in loop:
+                tb.addi(None)
+
+    # -- trace products -------------------------------------------------------
+
+    def _phase_kind(self, pi):
+        """Phases sharing a kind run the same static code (same PCs)."""
+        return 0
+
+    def _region(self, tb, key):
+        """Pin the builder to the fixed code region for ``key`` — every task
+        and phase that runs this code fetches the *same* PCs, like a real
+        compiled edgeMap function."""
+        regions = getattr(self, "_regions", None)
+        if regions is None:
+            regions = self._regions = {}
+        pc = regions.get(key)
+        if pc is None:
+            pc = 0x10000 + 0x1000 * len(regions)
+            regions[key] = pc
+        tb.set_pc(pc)
+
+    def _emit_vertices(self, tb, vertices, pi):
+        """Emit the per-vertex bodies as one shared-PC vertex loop: all
+        vertices execute the *same static code* (one edgeMap loop), exactly
+        like compiled Ligra — the i-cache footprint is the loop body, not the
+        whole traversal."""
+        self._region(tb, ("vloop", self._phase_kind(pi)))
+        head = tb.pc
+        for n, v in enumerate(vertices):
+            tb.set_pc(head)
+            self._emit_vertex(tb, v, pi)
+            last = n == len(vertices) - 1
+            tb.branch(taken=not last, target=None if last else head)
+
+    def scalar_trace(self):
+        tb = self._tb()
+        for pi, active in enumerate(self._compute_phases()):
+            self._serial_step(tb, len(active))
+            self._emit_vertices(tb, active, pi)
+        return tb.finish(self.name)
+
+    def task_program(self, vector_vlen=None, n_chunks=None):
+        phases = []
+        for pi, active in enumerate(self._compute_phases()):
+            stb = self._tb()
+            self._serial_step(stb, len(active))
+            serial = stb.finish(f"{self.name}.p{pi}")
+            tasks = []
+            nch = max(1, len(active) // self.chunk_vertices)
+            for tid, (lo, hi) in enumerate(chunk_ranges(len(active), nch)):
+                tb = self._tb()
+                self._emit_vertices(tb, active[lo:hi], pi)
+                tasks.append(Task(f"{pi}.{tid}", {"scalar": tb.finish()}))
+            phases.append(Phase(tasks, serial=serial))
+        return TaskProgram(phases, name=self.name)
+
+
+@register
+class BFS(LigraApp):
+    """Breadth-first search: one phase per level, frontier-driven."""
+
+    name = "bfs"
+
+    def _app_arrays(self, g):
+        return {"parent": self.alloc.array(g.n)}
+
+    def _compute_phases(self):
+        self._visited = {0}  # reset per trace product
+        return bfs_levels(self.params["g"])[:-1]  # last frontier expands nothing
+
+    def _emit_vertex(self, tb, v, phase_idx):
+        p = self.params
+        visited = self._visited
+
+        def per_edge(tb, v, ngh, re):
+            rp = tb.lw(p["parent"] + 4 * ngh)
+            new = ngh not in visited
+            tb.branch(taken=not new, cond_reg=rp)
+            if new:
+                visited.add(ngh)
+                tb.amoadd(p["parent"] + 4 * ngh, rp)
+
+        self._emit_edge_scan(tb, v, per_edge)
+
+
+@register
+class BC(LigraApp):
+    """Betweenness centrality: BFS forward pass + FP backward accumulation."""
+
+    name = "bc"
+
+    def _app_arrays(self, g):
+        return {"sigma": self.alloc.array(g.n), "delta": self.alloc.array(g.n)}
+
+    def _compute_phases(self):
+        levels = bfs_levels(self.params["g"])
+        self._n_forward = len(levels) - 1
+        return levels[:-1] + list(reversed(levels[1:]))
+
+    def _phase_kind(self, pi):
+        return 0 if pi < self._n_forward else 1
+
+    def _emit_vertex(self, tb, v, phase_idx):
+        p = self.params
+        forward = phase_idx < self._n_forward
+
+        def per_edge(tb, v, ngh, re):
+            if forward:
+                rs = tb.lw(p["sigma"] + 4 * ngh)
+                racc = tb.add(rs, re)
+                tb.branch(taken=ngh % 8 == 0, cond_reg=racc)
+                tb.sw(racc, p["sigma"] + 4 * ngh)
+            else:
+                rd = tb.flw(p["delta"] + 4 * ngh)
+                rs = tb.flw(p["sigma"] + 4 * ngh)
+                r = tb.fmadd(rd, rs, rd)
+                tb.fsw(r, p["delta"] + 4 * v)
+
+        self._emit_edge_scan(tb, v, per_edge)
+
+
+@register
+class PageRank(LigraApp):
+    """PageRank: dense iterations, FP gather-sum over in-neighbors."""
+
+    name = "pagerank"
+    iterations = 3
+
+    def _app_arrays(self, g):
+        return {"rank": self.alloc.array(g.n), "next": self.alloc.array(g.n)}
+
+    def _compute_phases(self):
+        return [list(range(self.params["g"].n)) for _ in range(self.iterations)]
+
+    def _emit_vertex(self, tb, v, phase_idx):
+        p = self.params
+        acc = tb.li()
+        accs = [acc]
+
+        def per_edge(tb, v, ngh, re):
+            rr = tb.flw(p["rank"] + 4 * ngh)
+            accs[0] = tb.fadd(accs[0], rr)
+
+        self._emit_edge_scan(tb, v, per_edge)
+        damp = tb.fmul(accs[0], accs[0])
+        tb.fsw(damp, p["next"] + 4 * v)
+
+
+@register
+class Components(LigraApp):
+    """Connected components via label propagation until convergence."""
+
+    name = "cc"
+
+    def _app_arrays(self, g):
+        return {"label": self.alloc.array(g.n)}
+
+    def _compute_phases(self):
+        g = self.params["g"]
+        label = list(range(g.n))
+        phases = []
+        active = list(range(g.n))
+        for _ in range(10):
+            if not active:
+                break
+            phases.append(list(active))
+            nxt = set()
+            new_label = list(label)
+            for v in active:
+                m = min([label[v]] + [label[w] for w in g.neighbors(v)])
+                if m < label[v]:
+                    new_label[v] = m
+                    nxt.update(g.neighbors(v))
+                    nxt.add(v)
+            changed = {v for v in range(g.n) if new_label[v] != label[v]}
+            label = new_label
+            active = sorted(nxt & changed | changed)
+        return phases
+
+    def _emit_vertex(self, tb, v, phase_idx):
+        p = self.params
+
+        def per_edge(tb, v, ngh, re):
+            rl = tb.lw(p["label"] + 4 * ngh)
+            rc = tb.slt(rl, re)
+            tb.branch(taken=ngh % 8 == 0, cond_reg=rc)
+
+        self._emit_edge_scan(tb, v, per_edge)
+        r = tb.lw(p["label"] + 4 * v)
+        tb.sw(r, p["label"] + 4 * v)
+
+
+@register
+class Radii(LigraApp):
+    """Graph eccentricity estimation via multi-source BFS bitmasks."""
+
+    name = "radii"
+    iterations = 4
+
+    def _app_arrays(self, g):
+        return {"bits": self.alloc.array(g.n, 8), "next_bits": self.alloc.array(g.n, 8)}
+
+    def _compute_phases(self):
+        # active set shrinks as bitmasks saturate
+        g = self.params["g"]
+        phases = []
+        frac = 1.0
+        for _ in range(self.iterations):
+            k = max(1, int(g.n * frac))
+            phases.append(list(range(k)))
+            frac *= 0.6
+        return phases
+
+    def _emit_vertex(self, tb, v, phase_idx):
+        p = self.params
+        acc = tb.ld(p["bits"] + 8 * v)
+        accs = [acc]
+
+        def per_edge(tb, v, ngh, re):
+            rb = tb.ld(p["bits"] + 8 * ngh)
+            accs[0] = tb.or_(accs[0], rb)
+
+        self._emit_edge_scan(tb, v, per_edge)
+        tb.sd(accs[0], p["next_bits"] + 8 * v)
+
+
+@register
+class MIS(LigraApp):
+    """Maximal independent set: priority comparisons against neighbors."""
+
+    name = "mis"
+
+    def _app_arrays(self, g):
+        return {"prio": self.alloc.array(g.n), "state": self.alloc.array(g.n)}
+
+    def _compute_phases(self):
+        g = self.params["g"]
+        rng = self.rng()
+        prio = [rng.random() for _ in range(g.n)]
+        undecided = set(range(g.n))
+        phases = []
+        while undecided and len(phases) < 12:
+            phases.append(sorted(undecided))
+            winners = {
+                v for v in undecided
+                if all(w not in undecided or prio[v] < prio[w] for w in g.neighbors(v))
+            }
+            removed = set(winners)
+            for v in winners:
+                removed.update(w for w in g.neighbors(v) if w in undecided)
+            undecided -= removed
+        return phases
+
+    def _emit_vertex(self, tb, v, phase_idx):
+        p = self.params
+        rp = tb.lw(p["prio"] + 4 * v)
+
+        def per_edge(tb, v, ngh, re):
+            rn = tb.lw(p["prio"] + 4 * ngh)
+            rc = tb.slt(rp, rn)
+            tb.branch(taken=ngh % 8 == 1, cond_reg=rc)
+
+        self._emit_edge_scan(tb, v, per_edge)
+        tb.sw(rp, p["state"] + 4 * v)
+
+
+@register
+class KCore(LigraApp):
+    """k-core decomposition: peel low-degree vertices round by round."""
+
+    name = "kcore"
+
+    def _app_arrays(self, g):
+        return {"deg": self.alloc.array(g.n)}
+
+    def _compute_phases(self):
+        g = self.params["g"]
+        deg = [g.degree(v) for v in range(g.n)]
+        alive = set(range(g.n))
+        phases = []
+        k = 1
+        while alive and len(phases) < 10:
+            peel = sorted(v for v in alive if deg[v] <= k)
+            if peel:
+                phases.append(peel)
+                for v in peel:
+                    alive.discard(v)
+                    for w in g.neighbors(v):
+                        if w in alive:
+                            deg[w] -= 1
+            else:
+                k += 1
+        return phases
+
+    def _emit_vertex(self, tb, v, phase_idx):
+        p = self.params
+
+        def per_edge(tb, v, ngh, re):
+            r = tb.amoadd(p["deg"] + 4 * ngh, re)  # atomic degree decrement
+            tb.branch(taken=ngh % 8 == 0, cond_reg=r)
+
+        self._emit_edge_scan(tb, v, per_edge)
+
+
+@register
+class BellmanFord(LigraApp):
+    """Single-source shortest paths with edge relaxation rounds."""
+
+    name = "bf"
+
+    def _app_arrays(self, g):
+        return {"dist": self.alloc.array(g.n), "wt": self.alloc.array(g.m)}
+
+    def _compute_phases(self):
+        # relaxation wavefronts equal BFS levels on an unweighted rMAT, plus
+        # a couple of correction rounds typical of weighted graphs
+        levels = bfs_levels(self.params["g"])[:-1]
+        extra = levels[len(levels) // 2:] if len(levels) > 2 else levels
+        return levels + extra
+
+    def _emit_vertex(self, tb, v, phase_idx):
+        p = self.params
+        g = p["g"]
+        rd = tb.lw(p["dist"] + 4 * v)
+        e0 = g.offsets[v]
+
+        def per_edge(tb, v, ngh, re):
+            k = 0  # weight index handled through edge register
+            rw = tb.lw(p["wt"] + 4 * (e0 + k))
+            rsum = tb.add(rd, rw)
+            rold = tb.lw(p["dist"] + 4 * ngh)
+            rc = tb.slt(rsum, rold)
+            tb.branch(taken=ngh % 4 != 0, cond_reg=rc)
+            if ngh % 4 != 0:
+                tb.sw(rsum, p["dist"] + 4 * ngh)
+
+        self._emit_edge_scan(tb, v, per_edge)

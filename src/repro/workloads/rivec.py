@@ -1,0 +1,188 @@
+"""RiVec-suite-derived data-parallel applications: blackscholes, jacobi2d."""
+
+from __future__ import annotations
+
+from repro.workloads.common import ChunkedDataParallel, register
+
+
+@register
+class BlackScholes(ChunkedDataParallel):
+    """Black-Scholes option pricing: ~30 FP operations per option including
+    divides and polynomial exp/log/CND approximations. Compute-bound — this
+    is where multiple chimes hiding FP latency matter (paper §V-B)."""
+
+    name = "blackscholes"
+    suite = "rivec"
+    kind = "data-parallel"
+
+    def _params(self, scale):
+        n = {"tiny": 256, "small": 1024, "full": 8192}[scale]
+        return {
+            "n": n,
+            "s": self.alloc.array(n),
+            "k": self.alloc.array(n),
+            "t": self.alloc.array(n),
+            "r": self.alloc.array(n),
+            "v": self.alloc.array(n),
+            "call": self.alloc.array(n),
+            "put": self.alloc.array(n),
+        }
+
+    def _n(self):
+        return self.params["n"]
+
+    def _emit_scalar(self, tb, start, stop):
+        p = self.params
+        with tb.loop(stop - start) as loop:
+            for ii in loop:
+                i = start + ii
+                s = tb.flw(p["s"] + 4 * i)
+                k = tb.flw(p["k"] + 4 * i)
+                t = tb.flw(p["t"] + 4 * i)
+                r = tb.flw(p["r"] + 4 * i)
+                v = tb.flw(p["v"] + 4 * i)
+                # log(s/k): one divide + 6-term polynomial
+                ratio = tb.fdiv(s, k)
+                lg = ratio
+                for _ in range(6):
+                    lg = tb.fmadd(lg, ratio, r)
+                # d1 = (log + (r + v^2/2) t) * rsqrt-approx(v^2 t)
+                v2 = tb.fmul(v, v)
+                num = tb.fmadd(v2, t, lg)
+                den = tb.fmul(v, t)
+                rs = den
+                for _ in range(3):  # Newton-Raphson reciprocal sqrt
+                    rs = tb.fmadd(rs, den, num)
+                d1 = tb.fmul(num, rs)
+                d2 = tb.fsub(d1, den)
+                # CND(d1), CND(d2): 5-term polynomials
+                cnd1 = d1
+                for _ in range(5):
+                    cnd1 = tb.fmadd(cnd1, d1, v)
+                cnd2 = d2
+                for _ in range(5):
+                    cnd2 = tb.fmadd(cnd2, d2, v)
+                call = tb.fmadd(s, cnd1, k)
+                put = tb.fmadd(k, cnd2, s)
+                tb.fsw(call, p["call"] + 4 * i)
+                tb.fsw(put, p["put"] + 4 * i)
+
+    def _emit_vector(self, tb, vb, start, stop):
+        p = self.params
+        rem = stop - start
+        i0 = start
+        head = tb.pc
+        while rem > 0:
+            tb.set_pc(head)
+            vl = vb.vsetvl(rem, ew=4)
+            vs = vb.vle(p["s"] + 4 * i0, vl=vl)
+            vk = vb.vle(p["k"] + 4 * i0, vl=vl)
+            vt = vb.vle(p["t"] + 4 * i0, vl=vl)
+            vr = vb.vle(p["r"] + 4 * i0, vl=vl)
+            vv = vb.vle(p["v"] + 4 * i0, vl=vl)
+            vratio = vb.vfdiv(vs, vk)
+            vlg = vratio
+            for _ in range(6):
+                vlg = vb.vfmacc(vlg, vratio, vr)
+            vv2 = vb.vfmul(vv, vv)
+            vnum = vb.vfmacc(vlg, vv2, vt)
+            vden = vb.vfmul(vv, vt)
+            vrs = vden
+            for _ in range(3):
+                vrs = vb.vfmacc(vrs, vden, vnum)
+            vd1 = vb.vfmul(vnum, vrs)
+            vd2 = vb.vfsub(vd1, vden)
+            vcnd1 = vd1
+            for _ in range(5):
+                vcnd1 = vb.vfmacc(vcnd1, vd1, vv)
+            vcnd2 = vd2
+            for _ in range(5):
+                vcnd2 = vb.vfmacc(vcnd2, vd2, vv)
+            vcall = vb.vfmacc(vk, vs, vcnd1)
+            vput = vb.vfmacc(vs, vk, vcnd2)
+            vb.vse(vcall, p["call"] + 4 * i0, vl=vl)
+            vb.vse(vput, p["put"] + 4 * i0, vl=vl)
+            rem -= vl
+            i0 += vl
+            tb.branch(taken=rem > 0, target=head if rem > 0 else None)
+
+
+@register
+class Jacobi2D(ChunkedDataParallel):
+    """5-point Jacobi stencil sweeps over a 2D grid. Memory-bound streaming
+    with three concurrently live input rows."""
+
+    name = "jacobi2d"
+    suite = "rivec"
+    kind = "data-parallel"
+
+    def _params(self, scale):
+        side, sweeps = {
+            "tiny": (32, 2),
+            "small": (64, 2),
+            "full": (256, 4),
+        }[scale]
+        return {
+            "side": side,
+            "sweeps": sweeps,
+            "a": self.alloc.array(side * side),
+            "b": self.alloc.array(side * side),
+        }
+
+    def _n(self):
+        return self.params["side"] - 2  # interior rows
+
+    def _row(self, grid, r):
+        return self.params[grid] + 4 * r * self.params["side"]
+
+    def _emit_scalar(self, tb, start, stop):
+        p = self.params
+        side = p["side"]
+        with tb.loop(p["sweeps"], overhead=False) as sweeps:
+            for s in sweeps:
+                src, dst = ("a", "b") if s % 2 == 0 else ("b", "a")
+                with tb.loop(stop - start) as rloop:
+                    for rr in rloop:
+                        r = start + rr + 1
+                        with tb.loop(side - 2) as cloop:
+                            for c in cloop:
+                                j = c + 1
+                                up = tb.flw(self._row(src, r - 1) + 4 * j)
+                                dn = tb.flw(self._row(src, r + 1) + 4 * j)
+                                lf = tb.flw(self._row(src, r) + 4 * (j - 1))
+                                rt = tb.flw(self._row(src, r) + 4 * (j + 1))
+                                ce = tb.flw(self._row(src, r) + 4 * j)
+                                s1 = tb.fadd(up, dn)
+                                s2 = tb.fadd(lf, rt)
+                                s3 = tb.fadd(s1, s2)
+                                out = tb.fmadd(s3, ce, ce)
+                                tb.fsw(out, self._row(dst, r) + 4 * j)
+
+    def _emit_vector(self, tb, vb, start, stop):
+        p = self.params
+        side = p["side"]
+        with tb.loop(p["sweeps"], overhead=False) as sweeps:
+            for s in sweeps:
+                src, dst = ("a", "b") if s % 2 == 0 else ("b", "a")
+                with tb.loop(stop - start) as rloop:
+                    for rr in rloop:
+                        r = start + rr + 1
+                        rem = side - 2
+                        j0 = 1
+                        head = tb.pc
+                        while rem > 0:
+                            tb.set_pc(head)
+                            vl = vb.vsetvl(rem, ew=4)
+                            vup = vb.vle(self._row(src, r - 1) + 4 * j0, vl=vl)
+                            vdn = vb.vle(self._row(src, r + 1) + 4 * j0, vl=vl)
+                            vlf = vb.vle(self._row(src, r) + 4 * (j0 - 1), vl=vl)
+                            vrt = vb.vle(self._row(src, r) + 4 * (j0 + 1), vl=vl)
+                            vce = vb.vle(self._row(src, r) + 4 * j0, vl=vl)
+                            v1 = vb.vfadd(vup, vdn)
+                            v2 = vb.vfadd(vlf, vrt)
+                            v3 = vb.vfadd(v1, v2)
+                            vout = vb.vfmacc(vce, v3, vce)
+                            vb.vse(vout, self._row(dst, r) + 4 * j0, vl=vl)
+                            rem -= vl
+                            j0 += vl
+                            tb.branch(taken=rem > 0, target=head if rem > 0 else None)

@@ -1,0 +1,439 @@
+"""Rodinia-derived data-parallel applications (paper Table V).
+
+Each generator reproduces the algorithmic structure — loop nests, operation
+mix, and memory access pattern — of the corresponding Rodinia benchmark at
+reduced input sizes (the paper's gem5 runs took up to 20 hours each; a pure
+Python cycle-level model needs proportionally smaller inputs, which preserves
+the *relative* behaviour across systems).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import ChunkedDataParallel, register
+
+
+@register
+class Backprop(ChunkedDataParallel):
+    """Fully-connected layer forward pass + sigmoid activation.
+
+    For each input unit the weight row is walked unit-stride while the
+    output-unit accumulator vector sits in registers (vectorized over output
+    units j): ``out[j] += in[i] * w[i][j]``.
+    """
+
+    name = "backprop"
+    suite = "rodinia"
+    kind = "data-parallel"
+
+    def _params(self, scale):
+        n_in, n_out = {
+            "tiny": (16, 64),
+            "small": (48, 256),
+            "full": (128, 1024),
+        }[scale]
+        return {
+            "n_in": n_in,
+            "n_out": n_out,
+            "input": self.alloc.array(n_in),
+            "w": self.alloc.array(n_in * n_out),
+            "out": self.alloc.array(n_out),
+        }
+
+    def _n(self):
+        return self.params["n_out"]
+
+    def _emit_scalar(self, tb, start, stop):
+        p = self.params
+        n_out = p["n_out"]
+        with tb.loop(stop - start) as jloop:
+            for jj in jloop:
+                j = start + jj
+                acc = tb.li()
+                with tb.loop(p["n_in"]) as iloop:
+                    for i in iloop:
+                        rin = tb.flw(p["input"] + 4 * i)
+                        rw = tb.flw(p["w"] + 4 * (i * n_out + j))
+                        acc = tb.fmadd(rin, rw, acc)
+                # sigmoid: 1 / (1 + e^-x), e^-x by 4-term polynomial
+                e = acc
+                for _ in range(3):
+                    e = tb.fmadd(e, acc, acc)
+                one = tb.li()
+                den = tb.fadd(e, one)
+                sig = tb.fdiv(one, den)
+                tb.fsw(sig, p["out"] + 4 * j)
+
+    def _emit_vector(self, tb, vb, start, stop):
+        p = self.params
+        n_out = p["n_out"]
+        rem = stop - start
+        j0 = start
+        head = tb.pc
+        while rem > 0:
+            tb.set_pc(head)
+            vl = vb.vsetvl(rem, ew=4)
+            vacc = vb.vmv_v_x(tb.li())
+            with tb.loop(p["n_in"]) as iloop:
+                for i in iloop:
+                    rin = tb.flw(p["input"] + 4 * i)
+                    vw = vb.vle(p["w"] + 4 * (i * n_out + j0), vl=vl)
+                    vin = vb.vmv_v_x(rin)
+                    vacc = vb.vfmacc(vacc, vin, vw)
+            ve = vacc
+            for _ in range(3):
+                ve = vb.vfmacc(ve, vacc, vacc)
+            vone = vb.vmv_v_x(tb.li())
+            vden = vb.vfadd(ve, vone)
+            vsig = vb.vfdiv(vone, vden)
+            vb.vse(vsig, p["out"] + 4 * j0, vl=vl)
+            rem -= vl
+            j0 += vl
+            tb.branch(taken=rem > 0, target=head if rem > 0 else None)
+
+
+@register
+class KMeans(ChunkedDataParallel):
+    """K-means clustering: per-point distance to every centroid + argmin.
+
+    Points are stored [point][dim]; the vector version vectorizes over points
+    with constant-stride feature loads (stride = ndims*4) and a register
+    min/argmin update via compare masks and merges.
+    """
+
+    name = "kmeans"
+    suite = "rodinia"
+    kind = "data-parallel"
+
+    def _params(self, scale):
+        n, dims, k, iters = {
+            "tiny": (128, 8, 4, 1),
+            "small": (512, 12, 5, 2),
+            "full": (2048, 16, 8, 3),
+        }[scale]
+        return {
+            "n": n,
+            "dims": dims,
+            "k": k,
+            "iters": iters,
+            "pts": self.alloc.array(n * dims),
+            "cent": self.alloc.array(k * dims),
+            "assign": self.alloc.array(n),
+        }
+
+    def _n(self):
+        return self.params["n"]
+
+    def _emit_scalar(self, tb, start, stop):
+        p = self.params
+        dims, k = p["dims"], p["k"]
+        with tb.loop(p["iters"], overhead=False) as outer:
+            for _ in outer:
+                with tb.loop(stop - start) as ploop:
+                    for pp in ploop:
+                        pt = start + pp
+                        best = tb.li()
+                        with tb.loop(k) as cloop:
+                            for c in cloop:
+                                acc = tb.li()
+                                with tb.loop(dims) as dloop:
+                                    for d in dloop:
+                                        rx = tb.flw(p["pts"] + 4 * (pt * dims + d))
+                                        rc = tb.flw(p["cent"] + 4 * (c * dims + d))
+                                        diff = tb.fsub(rx, rc)
+                                        acc = tb.fmadd(diff, diff, acc)
+                                cmp_ = tb.fcmp(acc, best)
+                                best = tb.fmin(acc, best)
+                                tb.branch(taken=(c % 2 == 0), cond_reg=cmp_)
+                        tb.sw(best, p["assign"] + 4 * pt)
+
+    def _emit_vector(self, tb, vb, start, stop):
+        p = self.params
+        dims, k = p["dims"], p["k"]
+        stride = dims * 4
+        with tb.loop(p["iters"], overhead=False) as outer:
+            for _ in outer:
+                rem = stop - start
+                p0 = start
+                head = tb.pc
+                while rem > 0:
+                    tb.set_pc(head)
+                    vl = vb.vsetvl(rem, ew=4)
+                    vbest = vb.vmv_v_x(tb.li())
+                    vassign = vb.vmv_v_x(tb.li())
+                    with tb.loop(k) as cloop:
+                        for c in cloop:
+                            vacc = vb.vmv_v_x(tb.li())
+                            with tb.loop(dims) as dloop:
+                                for d in dloop:
+                                    vx = vb.vlse(p["pts"] + 4 * (p0 * dims + d),
+                                                 stride=stride, vl=vl)
+                                    rc = tb.flw(p["cent"] + 4 * (c * dims + d))
+                                    vc = vb.vmv_v_x(rc)
+                                    vdiff = vb.vfsub(vx, vc)
+                                    vacc = vb.vfmacc(vacc, vdiff, vdiff)
+                            m = vb.vmflt(vacc, vbest)
+                            vbest = vb.vfmin(vacc, vbest)
+                            vid = vb.vid()
+                            vassign = vb.vmerge(vid, vassign, mask=m)
+                    vb.vse(vassign, p["assign"] + 4 * p0, vl=vl)
+                    rem -= vl
+                    p0 += vl
+                    tb.branch(taken=rem > 0, target=head if rem > 0 else None)
+
+
+@register
+class ParticleFilter(ChunkedDataParallel):
+    """Particle filter tracking step: likelihood from indexed image gathers,
+    weight normalization (reduction), and resampling gathers."""
+
+    name = "particlefilter"
+    suite = "rodinia"
+    kind = "data-parallel"
+    vop_fraction = 0.9
+
+    def _params(self, scale):
+        n, npts = {
+            "tiny": (128, 4),
+            "small": (512, 8),
+            "full": (2048, 12),
+        }[scale]
+        img_side = 64
+        return {
+            "n": n,
+            "npts": npts,  # measurement points per particle
+            "img_side": img_side,
+            "img": self.alloc.array(img_side * img_side),
+            "xs": self.alloc.array(n),
+            "ys": self.alloc.array(n),
+            "w": self.alloc.array(n),
+            "cdf": self.alloc.array(n),
+        }
+
+    def _n(self):
+        return self.params["n"]
+
+    def _img_addr(self, rng, p):
+        side = p["img_side"]
+        return p["img"] + 4 * (rng.randint(0, side - 1) * side + rng.randint(0, side - 1))
+
+    def _emit_scalar(self, tb, start, stop):
+        p = self.params
+        rng = self.rng()
+        with tb.loop(stop - start) as ploop:
+            for pp in ploop:
+                i = start + pp
+                rx = tb.flw(p["xs"] + 4 * i)
+                ry = tb.flw(p["ys"] + 4 * i)
+                acc = tb.li()
+                with tb.loop(p["npts"]) as mloop:
+                    for _ in mloop:
+                        rpix = tb.flw(self._img_addr(rng, p))  # indexed lookup
+                        # likelihood: ((pix-fg)^2 - (pix-bg)^2)/50 + exp-poly
+                        d1 = tb.fsub(rpix, rx)
+                        d2 = tb.fsub(rpix, ry)
+                        sq1 = tb.fmul(d1, d1)
+                        lk = tb.fmadd(d2, d2, sq1)
+                        e1 = tb.fmadd(lk, lk, sq1)
+                        e2 = tb.fmadd(e1, lk, d1)
+                        acc = tb.fadd(acc, e2)
+                # exp(-acc/2) ~ polynomial
+                e = acc
+                for _ in range(3):
+                    e = tb.fmadd(e, acc, ry)
+                tb.fsw(e, p["w"] + 4 * i)
+
+    def _emit_vector(self, tb, vb, start, stop):
+        p = self.params
+        rng = self.rng()
+        rem = stop - start
+        i0 = start
+        head = tb.pc
+        while rem > 0:
+            tb.set_pc(head)
+            vl = vb.vsetvl(rem, ew=4)
+            vx = vb.vle(p["xs"] + 4 * i0, vl=vl)
+            vy = vb.vle(p["ys"] + 4 * i0, vl=vl)
+            vacc = vb.vmv_v_x(tb.li())
+            with tb.loop(p["npts"]) as mloop:
+                for _ in mloop:
+                    addrs = [self._img_addr(rng, p) for _ in range(vl)]
+                    vpix = vb.vluxei(addrs)  # gather
+                    vd1 = vb.vfsub(vpix, vx)
+                    vd2 = vb.vfsub(vpix, vy)
+                    vsq1 = vb.vfmul(vd1, vd1)
+                    vlk = vb.vfmacc(vsq1, vd2, vd2)
+                    ve1 = vb.vfmacc(vsq1, vlk, vlk)
+                    ve2 = vb.vfmacc(vd1, ve1, vlk)
+                    vacc = vb.vfadd(vacc, ve2)
+            ve = vacc
+            for _ in range(3):
+                ve = vb.vfmacc(ve, vacc, vy)
+            vb.vse(ve, p["w"] + 4 * i0, vl=vl)
+            rem -= vl
+            i0 += vl
+            tb.branch(taken=rem > 0, target=head if rem > 0 else None)
+
+    def _emit_epilogue(self, tb):
+        # weight normalization: a serial reduction pass over the weights
+        p = self.params
+        acc = tb.li()
+        with tb.loop(min(p["n"], 256)) as loop:
+            for i in loop:
+                r = tb.flw(p["w"] + 4 * i)
+                acc = tb.fadd(acc, r)
+
+
+@register
+class Pathfinder(ChunkedDataParallel):
+    """Dynamic-programming grid walk: dst[j] = min(src[j-1..j+1]) + wall[j].
+
+    Unit-stride and shifted unit-stride loads; memory-bound (paper Fig. 8
+    shows it benefits strongly from deeper VMU data queues).
+    """
+
+    name = "pathfinder"
+    suite = "rodinia"
+    kind = "data-parallel"
+
+    def _params(self, scale):
+        cols, rows = {
+            "tiny": (256, 4),
+            "small": (1024, 6),
+            "full": (8192, 10),
+        }[scale]
+        return {
+            "cols": cols,
+            "rows": rows,
+            "wall": self.alloc.array(cols * rows),
+            "src": self.alloc.array(cols),
+            "dst": self.alloc.array(cols),
+        }
+
+    def _n(self):
+        return self.params["cols"]
+
+    def _emit_scalar(self, tb, start, stop):
+        p = self.params
+        cols = p["cols"]
+        with tb.loop(p["rows"], overhead=False) as rloop:
+            for r in rloop:
+                with tb.loop(stop - start) as jloop:
+                    for jj in jloop:
+                        j = start + jj
+                        left = tb.lw(p["src"] + 4 * max(j - 1, 0))
+                        mid = tb.lw(p["src"] + 4 * j)
+                        right = tb.lw(p["src"] + 4 * min(j + 1, cols - 1))
+                        m1 = tb.fmin(left, mid)
+                        m2 = tb.fmin(m1, right)
+                        w = tb.lw(p["wall"] + 4 * (r * cols + j))
+                        s = tb.add(m2, w)
+                        tb.sw(s, p["dst"] + 4 * j)
+
+    def _emit_vector(self, tb, vb, start, stop):
+        p = self.params
+        cols = p["cols"]
+        with tb.loop(p["rows"], overhead=False) as rloop:
+            for r in rloop:
+                rem = stop - start
+                j0 = start
+                head = tb.pc
+                while rem > 0:
+                    tb.set_pc(head)
+                    vl = vb.vsetvl(rem, ew=4)
+                    vleft = vb.vle(p["src"] + 4 * max(j0 - 1, 0), vl=vl)
+                    vmid = vb.vle(p["src"] + 4 * j0, vl=vl)
+                    vright = vb.vle(p["src"] + 4 * min(j0 + 1, cols - 1), vl=vl)
+                    vm = vb.vmin(vleft, vmid)
+                    vm = vb.vmin(vm, vright)
+                    vw = vb.vle(p["wall"] + 4 * (r * cols + j0), vl=vl)
+                    vs = vb.vadd(vm, vw)
+                    vb.vse(vs, p["dst"] + 4 * j0, vl=vl)
+                    rem -= vl
+                    j0 += vl
+                    tb.branch(taken=rem > 0, target=head if rem > 0 else None)
+
+
+@register
+class LavaMD(ChunkedDataParallel):
+    """N-body forces within neighbor boxes: FP-heavy with reciprocal
+    square-root sequences; vectorized over the neighbor particles."""
+
+    name = "lavamd"
+    suite = "rodinia"
+    kind = "data-parallel"
+
+    def _params(self, scale):
+        boxes, per_box = {
+            "tiny": (4, 16),
+            "small": (8, 32),
+            "full": (27, 64),
+        }[scale]
+        n = boxes * per_box
+        return {
+            "boxes": boxes,
+            "per_box": per_box,
+            "n": n,
+            "pos": self.alloc.array(n * 4),  # x,y,z,q
+            "frc": self.alloc.array(n * 4),
+        }
+
+    def _n(self):
+        return self.params["boxes"]
+
+    def _neighbors(self, b):
+        nb = self.params["boxes"]
+        return [(b + d) % nb for d in (-1, 0, 1)]
+
+    def _emit_scalar(self, tb, start, stop):
+        p = self.params
+        per = p["per_box"]
+        with tb.loop(stop - start) as bloop:
+            for bb in bloop:
+                b = start + bb
+                with tb.loop(per) as iloop:
+                    for i in iloop:
+                        pi = (b * per + i) * 4
+                        xi = tb.flw(p["pos"] + 4 * pi)
+                        acc = tb.li()
+                        for nbox in self._neighbors(b):
+                            with tb.loop(per) as jloop:
+                                for j in jloop:
+                                    pj = (nbox * per + j) * 4
+                                    xj = tb.flw(p["pos"] + 4 * pj)
+                                    d = tb.fsub(xi, xj)
+                                    r2 = tb.fmadd(d, d, acc)
+                                    inv = tb.fdiv(xi, r2)  # 1/r2 via divide
+                                    acc = tb.fmadd(inv, d, acc)
+                        tb.fsw(acc, p["frc"] + 4 * pi)
+
+    def _emit_vector(self, tb, vb, start, stop):
+        p = self.params
+        per = p["per_box"]
+        with tb.loop(stop - start) as bloop:
+            for bb in bloop:
+                b = start + bb
+                with tb.loop(per) as iloop:
+                    for i in iloop:
+                        pi = (b * per + i) * 4
+                        xi = tb.flw(p["pos"] + 4 * pi)
+                        vxi = vb.vmv_v_x(xi)
+                        vacc = vb.vmv_v_x(tb.li())
+                        for nbox in self._neighbors(b):
+                            rem = per
+                            j0 = 0
+                            head = tb.pc
+                            while rem > 0:
+                                tb.set_pc(head)
+                                vl = vb.vsetvl(rem, ew=4)
+                                vxj = vb.vlse(p["pos"] + 4 * (nbox * per + j0) * 4,
+                                              stride=16, vl=vl)
+                                vd = vb.vfsub(vxi, vxj)
+                                vr2 = vb.vfmacc(vacc, vd, vd)
+                                vinv = vb.vfdiv(vxi, vr2)
+                                vacc = vb.vfmacc(vacc, vinv, vd)
+                                rem -= vl
+                                j0 += vl
+                                tb.branch(taken=rem > 0, target=head if rem > 0 else None)
+                        vsum = vb.vfredsum(vacc)
+                        r = vb.vmv_x_s(vsum)
+                        tb.fsw(r, p["frc"] + 4 * pi)

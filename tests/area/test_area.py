@@ -1,0 +1,72 @@
+"""Tests for the Table VI area model."""
+
+import pytest
+
+from repro.area import (
+    dve_area_estimate_kge,
+    little_cluster_area,
+    system_overhead_estimate,
+    table6,
+    vlittle_cluster_area_kge,
+)
+from repro.errors import ConfigError
+
+
+def test_simple_core_overhead_matches_paper():
+    base, vl, ovh = table6("simple")
+    # paper: 2.4% with simple cores
+    assert 0.015 < ovh < 0.035
+    assert vl.total > base.total
+
+
+def test_ariane_core_overhead_matches_paper():
+    base, vl, ovh = table6("ariane")
+    # paper: 2.1% with Ariane cores (bigger cores dilute the fixed overhead)
+    assert 0.015 < ovh < 0.03
+    simple_ovh = table6("simple")[2]
+    assert ovh < simple_ovh
+
+
+def test_paper_headline_under_five_percent():
+    for core in ("simple", "ariane"):
+        assert table6(core)[2] < 0.05
+
+
+def test_baseline_totals_match_table6():
+    base, vl, _ = table6("simple")
+    # Table VI: 4L with simple cores = 427.0 k um^2
+    assert abs(base.total - 427.0) < 1.0
+    # 4VL column: 437.4 k um^2
+    assert abs(vl.total - 437.4) < 2.0
+
+
+def test_vector_components_present_only_in_4vl():
+    base = little_cluster_area(vector=False)
+    vl = little_cluster_area(vector=True)
+    assert not any("VXU" in k for k in base.components)
+    assert any("VXU" in k for k in vl.components)
+    assert any("VCU" in k for k in vl.components)
+
+
+def test_deeper_queues_cost_area():
+    shallow = little_cluster_area(vector=True, uopq_scale=1.0)
+    deep = little_cluster_area(vector=True, uopq_scale=4.0)
+    assert deep.total > shallow.total
+
+
+def test_unknown_core_model_rejected():
+    with pytest.raises(ConfigError):
+        little_cluster_area(core="cortex")
+
+
+def test_dve_area_comparable_to_cluster():
+    # paper §VI: the 8-lane Ara engine (~6000 kGE) is about the size of a
+    # four-Ariane cluster with its L1 caches
+    dve = dve_area_estimate_kge()
+    cluster = vlittle_cluster_area_kge()
+    assert 0.8 < dve / cluster < 1.25
+
+
+def test_system_level_overhead_below_one_percent():
+    assert system_overhead_estimate("simple") < 0.01
+    assert system_overhead_estimate("ariane") < 0.01

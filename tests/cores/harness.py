@@ -1,0 +1,61 @@
+"""Shared helpers for core timing tests."""
+
+from repro.cores import BigCore, LittleCore
+from repro.mem import MemorySystem
+from repro.trace import TraceSource
+
+
+def make_ms(**kw):
+    return MemorySystem(n_big=1, n_little=1, **kw)
+
+
+def prewarm(cache, addrs, is_write=False):
+    """Fill lines into a cache outside of timed execution."""
+    for a in addrs:
+        cache.access(a, is_write, 0)
+    for now in range(4000):
+        cache.tick(now)
+        if all(cache.probe(cache.line_of(a)) is not None for a in addrs):
+            return
+    raise AssertionError("prewarm failed")
+
+
+def warm_icache_for(ms, trace, which="little"):
+    cache = ms.little_l1i[0] if which == "little" else ms.big_l1i[0]
+    lines = sorted({i.pc & ~63 for i in trace})
+    prewarm(cache, lines)
+    # reset counters so tests observe only the timed run
+    cache.accesses = cache.hits = cache.misses = 0
+
+
+def run_little(trace, ms=None, warm_i=True, warm_d=(), max_cycles=200_000, **core_kw):
+    ms = ms or make_ms()
+    if warm_i:
+        warm_icache_for(ms, trace, "little")
+    if warm_d:
+        prewarm(ms.little_l1d[0], warm_d)
+    core = LittleCore("lit0", ms.little_l1i[0], ms.little_l1d[0],
+                      source=TraceSource(trace), **core_kw)
+    for now in range(max_cycles):
+        core.tick(now)
+        ms.tick(now)
+        if core.done():
+            return now + 1, core, ms
+    raise AssertionError("little core did not finish")
+
+
+def run_big(trace, ms=None, warm_i=True, warm_d=(), max_cycles=200_000, **core_kw):
+    ms = ms or make_ms()
+    if warm_i:
+        warm_icache_for(ms, trace, "big")
+    if warm_d:
+        prewarm(ms.big_l1d[0], warm_d)
+    core = BigCore("big0", ms.big_l1i[0], ms.big_l1d[0],
+                   source=TraceSource(trace), **core_kw)
+    for now in range(max_cycles):
+        core.set_now_hint(now)
+        core.tick(now)
+        ms.tick(now)
+        if core.done():
+            return now + 1, core, ms
+    raise AssertionError("big core did not finish")

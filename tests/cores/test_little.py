@@ -1,0 +1,158 @@
+"""Timing tests for the in-order little core."""
+
+from repro.stats import Stall
+from repro.trace import TraceBuilder
+
+from tests.cores.harness import run_little
+
+
+def lines(addr, n):
+    return [addr + i * 64 for i in range(n)]
+
+
+def test_independent_alu_ops_run_at_one_ipc():
+    tb = TraceBuilder()
+    for _ in range(50):
+        tb.addi(None)
+    base_cycles, core, _ = run_little(tb.finish())
+    assert core.instrs == 50
+    # 1 IPC once warm: cycles ~= instrs + small pipe overhead
+    assert base_cycles <= 60
+
+
+def test_dependent_chain_still_one_ipc_for_alu():
+    # single-cycle ALU results forward to the next instruction
+    tb = TraceBuilder()
+    r = tb.li()
+    for _ in range(40):
+        r = tb.addi(r)
+    cycles, core, _ = run_little(tb.finish())
+    assert cycles <= 55
+
+
+def test_fpu_dependent_chain_pays_latency():
+    tb = TraceBuilder()
+    r = tb.li()
+    n = 20
+    for _ in range(n):
+        r = tb.fadd(r, r)
+    cycles, core, _ = run_little(tb.finish())
+    # each dependent FP add waits ~4 cycles
+    assert cycles >= (n - 1) * 4
+    assert core.breakdown.counts[Stall.RAW_LLFU] >= n * 2
+
+
+def test_independent_fpu_ops_pipeline():
+    tb = TraceBuilder()
+    a, b = tb.li(), tb.li()
+    for _ in range(20):
+        tb.fadd(a, b)
+    cycles, _, _ = run_little(tb.finish())
+    assert cycles <= 35  # pipelined: ~1 IPC
+
+
+def test_div_unpipelined_serializes():
+    tb = TraceBuilder()
+    a, b = tb.li(), tb.li()
+    for _ in range(5):
+        tb.div(a, b)
+    cycles, core, _ = run_little(tb.finish())
+    assert cycles >= 4 * 12
+    assert core.breakdown.counts[Stall.STRUCT] >= 4 * 10
+
+
+def test_load_use_stall_on_hit():
+    tb = TraceBuilder()
+    r = tb.lw(0x100000)
+    tb.addi(r)
+    warm = [0x100000]
+    cycles_with, _, _ = run_little(tb.finish(), warm_d=warm)
+
+    tb2 = TraceBuilder()
+    tb2.lw(0x100000)
+    tb2.addi(None)
+    cycles_without, _, _ = run_little(tb2.finish(), warm_d=warm)
+    assert cycles_with > cycles_without  # dependent use pays load latency
+
+
+def test_load_miss_stalls_much_longer():
+    tb = TraceBuilder()
+    r = tb.lw(0x200000)
+    tb.addi(r)
+    cycles_cold, core, _ = run_little(tb.finish())
+    assert cycles_cold > 80  # DRAM round trip
+    assert core.breakdown.counts[Stall.RAW_MEM] > 50
+
+
+def test_store_buffer_hides_store_latency():
+    tb = TraceBuilder()
+    v = tb.li()
+    for i in range(4):
+        tb.sw(v, 0x300000 + 4 * i)
+    for _ in range(20):
+        tb.addi(None)
+    cycles, core, _ = run_little(tb.finish(), warm_d=[0x300000])
+    # stores retire into the buffer; ALU work continues at ~1 IPC
+    assert cycles <= 45
+
+
+def test_store_buffer_full_causes_struct_stall():
+    tb = TraceBuilder()
+    v = tb.li()
+    # many stores to distinct cold lines: buffer (depth 4) must back up
+    for i in range(12):
+        tb.sw(v, 0x400000 + 64 * i)
+    cycles, core, _ = run_little(tb.finish(), store_buffer_depth=2)
+    assert core.breakdown.counts[Stall.STRUCT] > 0
+
+
+def test_taken_branch_bubble():
+    tb = TraceBuilder()
+    with tb.loop(30, overhead=False) as loop:
+        for _ in loop:
+            tb.addi(None)
+    cycles_loop, core, _ = run_little(tb.finish())
+    tb2 = TraceBuilder()
+    for _ in range(30):
+        tb2.addi(None)
+        tb2.branch(taken=False)
+    cycles_straight, _, _ = run_little(tb2.finish())
+    # same instruction count; taken back-edges cost refetch bubbles
+    assert cycles_loop > cycles_straight
+
+
+def test_breakdown_accounts_every_cycle():
+    tb = TraceBuilder()
+    r = tb.lw(0x500000)
+    for _ in range(10):
+        r = tb.fadd(r, r)
+    cycles, core, _ = run_little(tb.finish())
+    assert core.breakdown.total() == cycles
+
+
+def test_done_waits_for_store_drain():
+    tb = TraceBuilder()
+    v = tb.li()
+    tb.sw(v, 0x600000)
+    cycles, core, ms = run_little(tb.finish())
+    assert not core._sb
+    # the dirty line actually landed in the cache
+    assert ms.little_l1d[0].probe(0x600000 & ~63) is not None
+
+
+def test_fetch_counts_lines_not_instrs():
+    tb = TraceBuilder()
+    for _ in range(64):  # 64 instrs = 4 lines of 16
+        tb.addi(None)
+    _, core, ms = run_little(tb.finish())
+    assert ms.little_l1i[0].accesses <= 6
+
+
+def test_loop_refetches_head_line_each_iteration():
+    tb = TraceBuilder()
+    with tb.loop(10, overhead=False) as loop:
+        for _ in loop:
+            tb.addi(None)
+    _, _, ms = run_little(tb.finish())
+    # each taken back-edge forces an i-fetch: >= ~1 per iteration
+    assert ms.little_l1i[0].accesses >= 9

@@ -1,0 +1,104 @@
+"""Tests for the dependency-free SVG chart renderer."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.experiments import svgplot
+
+
+def valid(svg_text):
+    xml.dom.minidom.parseString(svg_text)
+    return True
+
+
+def test_grouped_bars_valid_svg():
+    data = {"a": {"s1": 1.0, "s2": 2.5}, "b": {"s1": 0.5, "s2": 4.0}}
+    svg = svgplot.grouped_bars(data, ["s1", "s2"], title="t", ylabel="y")
+    out = svg.render()
+    assert valid(out)
+    assert out.count("<rect") >= 5  # 4 bars + background + legend
+    assert "t</text>" in out
+
+
+def test_grouped_bars_log_scale():
+    data = {"a": {"s": 1.0}, "b": {"s": 100.0}}
+    out = svgplot.grouped_bars(data, ["s"], log=True).render()
+    assert valid(out)
+
+
+def test_stacked_bars():
+    data = {
+        "w1": {"1c": {"busy": 10, "misc": 5}, "2c": {"busy": 8, "misc": 3}},
+    }
+    out = svgplot.stacked_bars(data, ["busy", "misc"]).render()
+    assert valid(out)
+    assert out.count("<rect") >= 5
+
+
+def test_line_chart():
+    data = {"a": {1: 0.5, 2: 0.8, 4: 1.0}, "b": {1: 1.0, 2: 1.0, 4: 1.0}}
+    out = svgplot.line_chart(data, title="lines").render()
+    assert valid(out)
+    assert out.count("<polyline") == 2
+
+
+def test_heatmap():
+    grid = {(r, c): (i + j) for i, r in enumerate("ab") for j, c in enumerate("xyz")}
+    out = svgplot.heatmap(grid, ["a", "b"], ["x", "y", "z"]).render()
+    assert valid(out)
+    assert out.count("<rect") >= 6
+
+
+def test_scatter_with_pareto():
+    pts = [(1.0, 2.0, "p1"), (2.0, 1.0, "p2"), (3.0, 3.0, "p3")]
+    out = svgplot.scatter(pts, pareto=[(1.0, 2.0, "p1"), (2.0, 1.0, "p2")]).render()
+    assert valid(out)
+    assert out.count("<circle") >= 3 + 1  # points + legend
+    assert "<polyline" in out
+
+
+def test_escaping():
+    data = {"<evil>&": {"s": 1.0}}
+    out = svgplot.grouped_bars(data, ["s"]).render()
+    assert valid(out)
+    assert "<evil>" not in out.replace("&lt;evil&gt;", "")
+
+
+def test_nice_max():
+    assert svgplot._nice_max(0) == 1.0
+    assert svgplot._nice_max(3) == 5
+    assert svgplot._nice_max(99) == 100
+    assert svgplot._nice_max(101) == 200
+
+
+def test_save(tmp_path):
+    data = {"a": {"s": 1.0}}
+    p = svgplot.grouped_bars(data, ["s"]).save(tmp_path / "x.svg")
+    assert (tmp_path / "x.svg").exists()
+
+
+def test_render_module_all_figures(tmp_path):
+    from repro.experiments.render import render
+
+    fig4 = {"speedups": {"w": {"1L": 1.0, "1b": 2.0}}, "summary": {}}
+    assert render("fig4", fig4, str(tmp_path))
+    fig5 = {"w": {"1bIV-4L": 3.0, "1bDV": 1.0, "1b-4VL": 1.5}}
+    assert render("fig5", fig5, str(tmp_path))
+    assert render("fig6", fig5, str(tmp_path))
+    fig7 = {"w": {"1c": {c: 1 for c in
+                         ("busy", "simd", "raw_mem", "raw_llfu", "struct",
+                          "xelem", "misc")}}}
+    assert render("fig7", fig7, str(tmp_path))
+    fig8 = {"w": {4: 0.5, 64: 1.0}}
+    assert render("fig8", fig8, str(tmp_path))
+    from repro.power import BIG_LEVELS, LITTLE_LEVELS
+    fig9 = {"w": {"1b-4VL": {(b, l): 1.0 for b in BIG_LEVELS for l in LITTLE_LEVELS}}}
+    assert render("fig9", fig9, str(tmp_path))
+    pts = [(1.0, 0.5, ("b0", "l0")), (0.5, 1.0, ("b1", "l3"))]
+    fig10 = {"w": {"points": pts, "pareto": pts}}
+    assert render("fig10", fig10, str(tmp_path))
+    pts11 = [(1.0, 0.5, ("1b-4VL", "b0", "l0"))]
+    fig11 = {"w": {"points": {"1b-4VL": pts11}, "pareto": pts11}}
+    assert render("fig11", fig11, str(tmp_path))
+    assert render("not-a-fig", {}, str(tmp_path)) is None

@@ -1,0 +1,78 @@
+"""End-to-end integration tests: real workloads through complete systems,
+checking the cross-cutting invariants the paper's argument rests on."""
+
+import pytest
+
+from repro.experiments import run_pair
+from repro.workloads import DATA_PARALLEL, KERNELS, TASK_PARALLEL
+
+
+@pytest.mark.parametrize("workload", KERNELS + DATA_PARALLEL)
+def test_every_vectorizable_workload_runs_on_every_system(workload):
+    for system in ("1L", "1bIV", "1bIV-4L", "1bDV", "1b-4VL"):
+        r = run_pair(system, workload, "tiny")
+        assert r.cycles > 0, (system, workload)
+
+
+@pytest.mark.parametrize("workload", TASK_PARALLEL)
+def test_every_graph_app_runs_on_every_system(workload):
+    for system in ("1L", "1b", "1b-4L", "1b-4VL", "1bDV"):
+        r = run_pair(system, workload, "tiny")
+        assert r.cycles > 0, (system, workload)
+
+
+@pytest.mark.parametrize("workload", KERNELS)
+def test_vectorization_always_beats_scalar_single_core(workload):
+    scalar = run_pair("1b", workload, "tiny")
+    for system in ("1bIV", "1bDV", "1b-4VL"):
+        vec = run_pair(system, workload, "tiny")
+        assert vec.cycles < scalar.cycles, (system, workload)
+
+
+@pytest.mark.parametrize("workload", TASK_PARALLEL)
+def test_scalar_mode_equivalence(workload):
+    """Paper §V-A: 1b-4VL and 1bIV-4L (and 1b-4L) are cycle-identical on
+    task-parallel code — the vector hardware is fully bypassed."""
+    a = run_pair("1b-4L", workload, "tiny")
+    b = run_pair("1b-4VL", workload, "tiny")
+    c = run_pair("1bIV-4L", workload, "tiny")
+    assert a.cycles == b.cycles == c.cycles
+
+
+@pytest.mark.parametrize("workload", KERNELS + DATA_PARALLEL)
+def test_vector_engines_fetch_less(workload):
+    """Fig. 5's mechanism: one fetch stream for the whole engine."""
+    vl = run_pair("1b-4VL", workload, "tiny")
+    iv = run_pair("1bIV-4L", workload, "tiny")
+    assert vl.stats["fetch_requests"] < iv.stats["fetch_requests"]
+
+
+@pytest.mark.parametrize("workload", KERNELS)
+def test_wide_requests_reduce_data_traffic(workload):
+    """Fig. 6's mechanism: line-granularity vector requests."""
+    vl = run_pair("1b-4VL", workload, "tiny")
+    scalar = run_pair("1L", workload, "tiny")
+    assert vl.stats["data_requests"] < scalar.stats["data_requests"] / 2
+
+
+def test_longer_vlen_fewer_dynamic_instructions():
+    from repro.workloads import get_workload
+
+    w = get_workload("saxpy", "tiny")
+    counts = {v: len(w.vector_trace(v)) for v in (128, 512, 2048)}
+    assert counts[2048] < counts[512] < counts[128]
+
+
+def test_breakdown_accounts_all_lane_cycles():
+    r = run_pair("1b-4VL", "saxpy", "tiny", use_cache=False)
+    cats = ("busy", "simd", "raw_mem", "raw_llfu", "struct", "xelem", "misc")
+    total = sum(r.stats[f"vlittle.lane_stall.{c}"] for c in cats)
+    # 4 lanes, one category per lane-cycle while the engine exists
+    assert total == pytest.approx(4 * r.cycles, rel=0.02)
+
+
+def test_determinism_across_runs():
+    a = run_pair("1b-4VL", "kmeans", "tiny", use_cache=False)
+    b = run_pair("1b-4VL", "kmeans", "tiny", use_cache=False)
+    assert a.cycles == b.cycles
+    assert a.stats == b.stats

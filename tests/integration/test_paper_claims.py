@@ -1,0 +1,99 @@
+"""Paper-quote-driven assertions: each test cites the sentence it checks.
+
+These run at tiny scale so the whole file stays fast; the benchmark harness
+re-checks the quantitative versions at larger inputs.
+"""
+
+from repro.experiments import run_pair
+from repro.soc import System, preset
+from repro.utils import geomean
+from repro.workloads import get_workload
+
+
+def test_claim_no_overhead_in_scalar_mode():
+    """§III-A: 'in the scalar mode, big.VLITTLE performs exactly the same as
+    an equivalent big.LITTLE system.'"""
+    for app in ("bfs", "pagerank"):
+        assert run_pair("1b-4VL", app, "tiny").cycles == \
+            run_pair("1b-4L", app, "tiny").cycles
+
+
+def test_claim_vlittle_halves_the_gap_to_dv():
+    """§V-A: 1b-4VL achieves 'roughly half of 1bDV's performance' on
+    data-parallel applications."""
+    ratios = []
+    for app in ("vvadd", "saxpy", "pathfinder", "backprop"):
+        dv = run_pair("1bDV", app, "tiny").stats["time_ps"]
+        vl = run_pair("1b-4VL", app, "tiny").stats["time_ps"]
+        ratios.append(vl / dv)
+    assert 1.2 < geomean(ratios) < 3.5
+
+
+def test_claim_fewer_fetches_with_longer_vectors():
+    """§V-A / Fig. 5: 'across all vectorized kernels and applications, 1bDV
+    and 1b-4VL perform significantly fewer instruction fetch requests than
+    the 1bIV-4L system does.'"""
+    for app in ("vvadd", "saxpy", "blackscholes"):
+        f_iv = run_pair("1bIV-4L", app, "tiny").stats["fetch_requests"]
+        f_vl = run_pair("1b-4VL", app, "tiny").stats["fetch_requests"]
+        f_dv = run_pair("1bDV", app, "tiny").stats["fetch_requests"]
+        assert f_dv < f_iv and f_vl < f_iv
+
+
+def test_claim_wide_requests_for_regular_patterns():
+    """§V-A / Fig. 6: 'for workloads with regular memory access patterns ...
+    1b-4VL and 1bDV can efficiently fetch multiple per-element pieces of
+    data using a single wide memory request.'"""
+    for app in ("vvadd", "saxpy", "pathfinder"):
+        d_iv = run_pair("1bIV-4L", app, "tiny").stats["data_requests"]
+        d_vl = run_pair("1b-4VL", app, "tiny").stats["data_requests"]
+        assert d_vl < d_iv / 2, app
+
+
+def test_claim_512bit_hardware_vector_length():
+    """§III-C / Fig. 2: 'the example VLITTLE engine ... can support a 512-bit
+    hardware vector length by effectively using all physical registers in
+    four little cores.'"""
+    assert preset("1b-4VL").vlen_bits(4) == 512
+
+
+def test_claim_packed_elements_double_vlen():
+    """§V-B: 'enabling packed-vector-element support effectively doubles the
+    1b-4VL's hardware vector length.'"""
+    assert preset("1b-4VL", packed=True).vlen_bits(4) == \
+        2 * preset("1b-4VL", packed=False).vlen_bits(4)
+
+
+def test_claim_mode_switch_costs_hundreds_of_cycles():
+    """§III-B: 'the overhead of saving a thread context into memory and
+    flushing an in-order short pipeline is relatively small (e.g., 500+
+    cycles).' The engine charges it exactly once per region."""
+    w = get_workload("vvadd", "tiny")
+    cfg0 = preset("1b-4VL", switch_penalty=0)
+    cfg500 = preset("1b-4VL", switch_penalty=500)
+    t0 = System(cfg0).run(w.vector_trace(cfg0.vlen_bits(4))).stats["time_ps"]
+    w2 = get_workload("vvadd", "tiny")
+    t500 = System(cfg500).run(w2.vector_trace(cfg500.vlen_bits(4))).stats["time_ps"]
+    delta_cycles = (t500 - t0) / 1000
+    assert 400 <= delta_cycles <= 700
+
+
+def test_claim_decoupled_engine_useless_for_graphs():
+    """§V-A: 'the 1bDV system is able to use only its big core to execute
+    scalar code' — its engine contributes nothing to Ligra apps."""
+    r = run_pair("1bDV", "pagerank", "tiny")
+    assert r.stats.get("dve.instrs", 0) == 0
+    assert r.cycles == run_pair("1b", "pagerank", "tiny").cycles
+
+
+def test_claim_little_cores_lockstep():
+    """§III-B: the VCU broadcasts µops to all little cores in lockstep; all
+    four lanes therefore issue the same number of broadcast µops."""
+    from repro.workloads import get_workload as gw
+
+    cfg = preset("1b-4VL", switch_penalty=0)
+    sysm = System(cfg)
+    w = gw("vvadd", "tiny")
+    sysm.run(w.vector_trace(cfg.vlen_bits(4)))
+    counts = [l.uops_issued for l in sysm.engine.lanes]
+    assert len(set(counts)) == 1

@@ -1,0 +1,53 @@
+"""Unit tests for scalar opcode metadata."""
+
+from repro.isa.scalar import Op, FUClass, OP_FU, OP_IS_BRANCH, OP_IS_LOAD, OP_IS_STORE, mem_size
+
+
+def test_every_op_has_fu_class():
+    for op in Op:
+        assert isinstance(OP_FU[op], FUClass)
+
+
+def test_loads_and_stores_are_mem_class():
+    for op in Op:
+        if OP_IS_LOAD[op] or OP_IS_STORE[op]:
+            assert OP_FU[op] == FUClass.MEM, op
+
+
+def test_branch_classification():
+    assert OP_IS_BRANCH[Op.BR]
+    assert OP_IS_BRANCH[Op.JAL]
+    assert OP_IS_BRANCH[Op.JALR]
+    assert not OP_IS_BRANCH[Op.ADD]
+    assert not OP_IS_BRANCH[Op.LW]
+
+
+def test_amo_is_both_load_and_store():
+    assert OP_IS_LOAD[Op.AMOADD]
+    assert OP_IS_STORE[Op.AMOADD]
+
+
+def test_fp_ops_use_fp_units():
+    assert OP_FU[Op.FADD] == FUClass.FPU
+    assert OP_FU[Op.FMADD] == FUClass.FPU
+    assert OP_FU[Op.FDIV] == FUClass.FDIV
+    assert OP_FU[Op.FSQRT] == FUClass.FDIV
+
+
+def test_int_mul_div_split():
+    assert OP_FU[Op.MUL] == FUClass.MUL
+    assert OP_FU[Op.DIV] == FUClass.DIV
+    assert OP_FU[Op.REM] == FUClass.DIV
+
+
+def test_mem_sizes():
+    assert mem_size(Op.LW) == 4
+    assert mem_size(Op.LD) == 8
+    assert mem_size(Op.FLW) == 4
+    assert mem_size(Op.SB) == 1
+    assert mem_size(Op.FSD) == 8
+
+
+def test_nop_and_fence_use_no_fu():
+    assert OP_FU[Op.NOP] == FUClass.NONE
+    assert OP_FU[Op.FENCE] == FUClass.NONE

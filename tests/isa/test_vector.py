@@ -1,0 +1,59 @@
+"""Unit tests for vector opcode metadata."""
+
+from repro.isa.vector import (
+    VOp,
+    VClass,
+    VOP_CLASS,
+    VOP_IS_LOAD,
+    VOP_IS_STORE,
+    VOP_IS_MEM,
+    VOP_IS_CROSS,
+    VOP_HAS_SCALAR_DEST,
+    PACK_SERIALIZED,
+)
+
+
+def test_every_vop_classified():
+    for op in VOp:
+        assert isinstance(VOP_CLASS[op], VClass)
+
+
+def test_memory_flags_consistent():
+    for op in VOp:
+        if VOP_IS_LOAD[op] or VOP_IS_STORE[op]:
+            assert VOP_IS_MEM[op], op
+    assert VOP_IS_LOAD[VOp.VLE]
+    assert VOP_IS_LOAD[VOp.VLSE]
+    assert VOP_IS_LOAD[VOp.VLUXEI]
+    assert VOP_IS_STORE[VOp.VSE]
+    assert VOP_IS_STORE[VOp.VSSE]
+    assert VOP_IS_STORE[VOp.VSUXEI]
+
+
+def test_cross_element_ops():
+    for op in (VOp.VREDSUM, VOp.VFREDSUM, VOp.VPOPC, VOp.VRGATHER, VOp.VSLIDEUP):
+        assert VOP_IS_CROSS[op], op
+    assert not VOP_IS_CROSS[VOp.VADD]
+    assert not VOP_IS_CROSS[VOp.VLE]
+
+
+def test_scalar_dest_ops():
+    assert VOP_HAS_SCALAR_DEST[VOp.VPOPC]
+    assert VOP_HAS_SCALAR_DEST[VOp.VMV_XS]
+    assert VOP_HAS_SCALAR_DEST[VOp.VSETVL]
+    assert not VOP_HAS_SCALAR_DEST[VOp.VREDSUM]
+
+
+def test_packing_serialization_policy():
+    # Paper §III-C / §V-A: simple int arith and multiply are packable;
+    # divides and all FP serialize over packed sub-elements.
+    assert VOP_CLASS[VOp.VADD] == VClass.INT_SIMPLE
+    assert VOP_CLASS[VOp.VMUL] == VClass.INT_SIMPLE
+    assert VOP_CLASS[VOp.VDIV] in PACK_SERIALIZED
+    assert VOP_CLASS[VOp.VFADD] in PACK_SERIALIZED
+    assert VOP_CLASS[VOp.VFDIV] in PACK_SERIALIZED
+    assert VOP_CLASS[VOp.VADD] not in PACK_SERIALIZED
+
+
+def test_vmfence_is_fence_class():
+    assert VOP_CLASS[VOp.VMFENCE] == VClass.FENCE

@@ -1,0 +1,62 @@
+"""Unit + property tests for the bank-interleaved addressing scheme."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem import BankMap
+
+
+def test_consecutive_lines_hit_different_banks():
+    bm = BankMap(4, 64)
+    banks = [bm.bank_of(i * 64) for i in range(8)]
+    assert banks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_same_line_same_bank():
+    bm = BankMap(4, 64)
+    assert bm.bank_of(0x1000) == bm.bank_of(0x103F)
+
+
+def test_non_pow2_rejected():
+    with pytest.raises(ValueError):
+        BankMap(3)
+    with pytest.raises(ValueError):
+        BankMap(4, 48)
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_bank_in_range(addr):
+    bm = BankMap(4, 64)
+    assert 0 <= bm.bank_of(addr) < 4
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_index_bits_drop_bank_and_offset(addr):
+    bm = BankMap(4, 64)
+    # addresses differing only in offset+bank bits share index bits
+    assert bm.index_bits_of(addr) == addr >> 8
+
+
+def test_unit_stride_stream_balances_banks():
+    # The paper places bank bits just above the offset precisely so that
+    # unit-stride streams spread evenly across banks.
+    bm = BankMap(4, 64)
+    lines = [0x10000 + i * 64 for i in range(64)]
+    parts = bm.partition_lines(lines)
+    assert [len(p) for p in parts] == [16, 16, 16, 16]
+
+
+def test_large_stride_can_conflict():
+    # stride == nbanks*line hits a single bank — the known pathological case
+    bm = BankMap(4, 64)
+    lines = [i * 256 for i in range(16)]
+    parts = bm.partition_lines(lines)
+    assert [len(p) for p in parts] == [16, 0, 0, 0]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**30), max_size=50))
+def test_partition_preserves_all_lines(lines):
+    bm = BankMap(8, 64)
+    parts = bm.partition_lines(lines)
+    flat = [x for p in parts for x in p]
+    assert sorted(flat) == sorted(lines)

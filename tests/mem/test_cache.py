@@ -1,0 +1,159 @@
+"""Unit tests for the L1 cache model (driven against the real L2 + DRAM)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem import BLOCKED, HIT, MISS, DRAM, L1Cache, L2Cache, STATE_M, STATE_S
+
+
+def make_l1(**kw):
+    dram = DRAM()
+    l2 = L2Cache(dram)
+    l1 = L1Cache("c0.l1d", l2=l2, **kw)
+    l2.register_client("c0.l1d", l1, coherent=True)
+    return l1, l2, dram
+
+
+def drain_until_fill(l1, line, start=0, max_cycles=2000):
+    """Tick until the line is resident; returns the cycle it appeared."""
+    for now in range(start, start + max_cycles):
+        l1.tick(now)
+        if l1.probe(line) is not None:
+            return now
+    raise AssertionError(f"line {line:#x} never filled")
+
+
+def test_bad_geometry_rejected():
+    dram = DRAM()
+    l2 = L2Cache(dram)
+    with pytest.raises(ConfigError):
+        L1Cache("x", l2=l2, size_bytes=1000)
+
+
+def test_cold_miss_then_hit():
+    l1, _, _ = make_l1()
+    res, _ = l1.access(0x1000, False, 0)
+    assert res == MISS
+    drain_until_fill(l1, 0x1000)
+    res, ready = l1.access(0x1004, False, 200)  # same line
+    assert res == HIT
+    assert ready == 200 + l1.hit_latency
+
+
+def test_waiter_called_on_fill():
+    l1, _, _ = make_l1()
+    calls = []
+    l1.access(0x2000, False, 0, waiter=lambda line, t: calls.append((line, t)))
+    drain_until_fill(l1, 0x2000)
+    assert len(calls) == 1
+    assert calls[0][0] == 0x2000
+    assert calls[0][1] > 0
+
+
+def test_miss_merge_shares_mshr():
+    l1, _, _ = make_l1()
+    calls = []
+    l1.access(0x3000, False, 0, waiter=lambda l, t: calls.append(1))
+    res, _ = l1.access(0x3008, False, 1, waiter=lambda l, t: calls.append(2))
+    assert res == MISS
+    assert l1.misses == 1  # merged, single real miss
+    drain_until_fill(l1, 0x3000)
+    assert sorted(calls) == [1, 2]
+
+
+def test_mshr_exhaustion_blocks():
+    l1, _, _ = make_l1(n_mshrs=2)
+    assert l1.access(0x1000, False, 0)[0] == MISS
+    assert l1.access(0x2000, False, 0)[0] == MISS
+    assert l1.access(0x3000, False, 0)[0] == BLOCKED
+    assert l1.mshr_blocked == 1
+
+
+def test_write_hit_on_exclusive_line():
+    l1, _, _ = make_l1()
+    l1.access(0x1000, False, 0)
+    drain_until_fill(l1, 0x1000)
+    # exclusive grant (sole reader) => write hits without upgrade
+    assert l1.probe(0x1000) == STATE_M
+    res, _ = l1.access(0x1000, True, 300)
+    assert res == HIT
+    assert l1.upgrades == 0
+
+
+def test_write_to_shared_line_upgrades():
+    dram = DRAM()
+    l2 = L2Cache(dram)
+    a = L1Cache("a", l2=l2)
+    b = L1Cache("b", l2=l2)
+    l2.register_client("a", a, coherent=True)
+    l2.register_client("b", b, coherent=True)
+    a.access(0x1000, False, 0)
+    drain_until_fill(a, 0x1000)
+    b.access(0x1000, False, 300)
+    drain_until_fill(b, 0x1000)
+    assert a.probe(0x1000) == STATE_S or a.probe(0x1000) is None
+    assert b.probe(0x1000) == STATE_S
+    res, _ = b.access(0x1000, True, 600)
+    assert res == MISS  # ownership upgrade round-trip
+    assert b.upgrades == 1
+    for now in range(600, 1000):
+        b.tick(now)
+        if b.probe(0x1000) == STATE_M:
+            break
+    assert b.probe(0x1000) == STATE_M
+    assert a.probe(0x1000) is None  # invalidated
+
+
+def test_write_joining_read_miss_blocks():
+    l1, _, _ = make_l1()
+    l1.access(0x1000, False, 0)
+    res, _ = l1.access(0x1000, True, 1)
+    assert res == BLOCKED
+
+
+def test_lru_eviction_and_writeback():
+    # 2-way, tiny cache: 2 sets of 2 ways, 64B lines => 256B
+    l1, l2, dram = make_l1(size_bytes=256, assoc=2)
+    lines = [0x0000, 0x0100, 0x0200]  # all map to set 0
+    for i, ln in enumerate(lines[:2]):
+        l1.access(ln, True, i * 400)
+        drain_until_fill(l1, ln, start=i * 400)
+    assert l1.resident_lines == 2
+    l1.access(lines[2], False, 1000)
+    drain_until_fill(l1, lines[2], start=1000)
+    assert l1.probe(lines[0]) is None  # LRU victim
+    assert l1.writebacks == 1  # was dirty
+    assert l2.writebacks_in == 1
+
+
+def test_invalidate_reports_dirty():
+    l1, _, _ = make_l1()
+    l1.access(0x1000, True, 0)
+    drain_until_fill(l1, 0x1000)
+    assert l1.invalidate(0x1000) is True
+    assert l1.probe(0x1000) is None
+    assert l1.invalidate(0x1000) is False
+
+
+def test_banked_mode_changes_set_index_only():
+    l1, _, _ = make_l1()
+    l1.access(0x1000, False, 0)
+    drain_until_fill(l1, 0x1000)
+    l1.set_banked_mode(4)
+    # full tags: the line is still resident and hits after the mode switch
+    res, _ = l1.access(0x1000, False, 500)
+    assert res == HIT
+    l1.set_private_mode()
+    res, _ = l1.access(0x1000, False, 501)
+    assert res == HIT
+
+
+def test_counters_consistent():
+    l1, _, _ = make_l1()
+    l1.access(0x1000, False, 0)
+    drain_until_fill(l1, 0x1000)
+    l1.access(0x1000, False, 300)
+    s = l1.stats()
+    assert s["accesses"] == 2
+    assert s["hits"] == 1
+    assert s["misses"] == 1

@@ -1,0 +1,107 @@
+"""Property-based tests: the cache hierarchy against a reference model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem import DRAM, L1Cache, L2Cache, STATE_M
+
+
+def build(n_l1=2, **l1kw):
+    dram = DRAM()
+    l2 = L2Cache(dram)
+    l1s = []
+    for i in range(n_l1):
+        c = L1Cache(f"c{i}", l2=l2, **l1kw)
+        l2.register_client(f"c{i}", c, coherent=True)
+        l1s.append(c)
+    return l1s, l2, dram
+
+
+def drive(l1s, ops):
+    """Apply (core, line_idx, is_write) ops with full drains in between;
+    returns per-op outcome trail."""
+    now = 0
+    for core, idx, is_write in ops:
+        c = l1s[core]
+        addr = 0x10000 + idx * 64
+        c.access(addr, is_write, now)
+        # drain the hierarchy
+        for _ in range(400):
+            now += 1
+            for x in l1s:
+                x.tick(now)
+            st_ = c.probe(addr & ~63)
+            if st_ is not None and (not is_write or st_ == STATE_M):
+                break
+        now += 1
+    return now
+
+
+acc = st.tuples(st.integers(0, 1), st.integers(0, 30), st.booleans())
+
+
+@given(st.lists(acc, min_size=1, max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_single_writer_invariant(ops):
+    """At any quiescent point, a dirty (M) line exists in at most one L1."""
+    l1s, l2, dram = build()
+    drive(l1s, ops)
+    lines = set()
+    for c in l1s:
+        lines |= set(c._state)
+    for line in lines:
+        owners = [c for c in l1s if c.probe(line) == STATE_M]
+        assert len(owners) <= 1, hex(line)
+
+
+@given(st.lists(acc, min_size=1, max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_directory_consistent_with_l1_contents(ops):
+    """The L2 directory's sharer sets never miss a real L1 resident."""
+    l1s, l2, dram = build()
+    drive(l1s, ops)
+    for i, c in enumerate(l1s):
+        for line in c._state:
+            entry = l2._dir.get(line)
+            assert entry is not None
+            assert entry[0] == f"c{i}" or f"c{i}" in entry[1], hex(line)
+
+
+@given(st.lists(acc, min_size=1, max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_counters_balance(ops):
+    """accesses == hits + misses + upgrades + blocked + merged (sanity)."""
+    l1s, l2, dram = build()
+    drive(l1s, ops)
+    for c in l1s:
+        s = c.stats()
+        classified = s["hits"] + s["misses"] + s["upgrades"] + s["mshr_blocked"]
+        # MSHR merges are the only unclassified access kind
+        assert classified <= s["accesses"]
+
+
+@given(st.lists(st.integers(0, 200), min_size=1, max_size=120))
+@settings(max_examples=30, deadline=None)
+def test_capacity_never_exceeded(idxs):
+    """Resident lines never exceed the configured capacity."""
+    l1s, _, _ = build(n_l1=1, size_bytes=1024, assoc=2)  # 16 lines
+    c = l1s[0]
+    now = 0
+    for idx in idxs:
+        c.access(0x40000 + idx * 64, False, now)
+        for _ in range(200):
+            now += 1
+            c.tick(now)
+        assert c.resident_lines <= 16
+
+
+@given(st.lists(st.tuples(st.integers(0, 40), st.booleans()), min_size=1, max_size=80))
+@settings(max_examples=30, deadline=None)
+def test_dram_never_sees_more_reads_than_l2_misses(seq):
+    l1s, l2, dram = build(n_l1=1)
+    now = 0
+    for idx, w in seq:
+        l1s[0].access(0x80000 + idx * 64, w, now)
+        for _ in range(250):
+            now += 1
+            l1s[0].tick(now)
+    assert dram.reads == l2.misses

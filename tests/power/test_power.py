@@ -1,0 +1,104 @@
+"""Tests for the Table VII DVFS/power model and Pareto helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.power import (
+    BIG_LEVELS,
+    DVE_POWER_RATIO,
+    LITTLE_LEVELS,
+    dominates,
+    energy_j,
+    freqs,
+    grid,
+    pareto_frontier,
+    system_power_w,
+)
+
+
+def test_levels_match_paper_frequencies():
+    assert [v[0] for v in BIG_LEVELS.values()] == [0.8, 1.0, 1.2, 1.4]
+    assert [v[0] for v in LITTLE_LEVELS.values()] == [0.6, 0.8, 1.0, 1.2]
+
+
+def test_big_power_column_is_papers():
+    assert BIG_LEVELS["b1"][1] == 0.591
+    assert BIG_LEVELS["b2"][1] == 0.841
+    assert BIG_LEVELS["b3"][1] == 1.205
+
+
+def test_power_grows_superlinearly_with_frequency():
+    for levels in (BIG_LEVELS, LITTLE_LEVELS):
+        vals = list(levels.values())
+        for (f1, p1), (f2, p2) in zip(vals, vals[1:]):
+            assert p2 / p1 > f2 / f1  # voltage scaling makes it superlinear
+
+
+def test_little_cores_are_an_order_of_magnitude_cheaper():
+    ratio = BIG_LEVELS["b1"][1] / LITTLE_LEVELS["l2"][1]  # both at 1 GHz
+    assert 5 < ratio < 12
+
+
+def test_grid_has_16_points():
+    assert len(grid()) == 16
+
+
+def test_system_power_composition():
+    p_b = system_power_w("1b")
+    p_bl = system_power_w("1b-4L")
+    p_dv = system_power_w("1bDV")
+    p_vl = system_power_w("1b-4VL")
+    assert p_bl == pytest.approx(p_b + 4 * LITTLE_LEVELS["l1"][1])
+    assert p_dv == pytest.approx(p_b * (1 + DVE_POWER_RATIO))
+    # paper: 1bIV-4L and 1b-4VL assumed equal to 1b-4L
+    assert p_vl == system_power_w("1bIV-4L") == p_bl
+    # the decoupled engine is the power hog
+    assert p_dv > p_bl
+
+
+def test_unknown_inputs_rejected():
+    with pytest.raises(ConfigError):
+        system_power_w("gpu")
+    with pytest.raises(ConfigError):
+        freqs(big="b9")
+
+
+def test_freqs():
+    assert freqs("b0", "l3") == (0.8, 1.2)
+
+
+def test_pareto_frontier_basic():
+    pts = [(10, 1.0, "a"), (5, 2.0, "b"), (7, 1.5, "c"), (20, 0.5, "d"), (4, 3.0, "e")]
+    front = pareto_frontier(pts)
+    tags = [t for _, _, t in front]
+    assert tags == ["d", "a", "c", "b", "e"]
+
+
+def test_pareto_dominated_points_excluded():
+    pts = [(10, 1.0, "good"), (11, 1.1, "dominated")]
+    front = pareto_frontier(pts)
+    assert [t for _, _, t in front] == ["good"]
+
+
+@given(st.lists(st.tuples(st.integers(1, 100), st.integers(1, 100)), min_size=1, max_size=30))
+def test_pareto_frontier_property(raw):
+    pts = [(t, w, i) for i, (t, w) in enumerate(raw)]
+    front = pareto_frontier(pts)
+    # no frontier point dominates another frontier point
+    for a in front:
+        for b in front:
+            if a is not b:
+                assert not dominates(a, b) or (a[0], a[1]) == (b[0], b[1])
+    # every non-frontier point is dominated by some frontier point
+    front_ids = {t for _, _, t in front}
+    for p in pts:
+        if p[2] not in front_ids:
+            assert any(
+                dominates((f[0], f[1]), (p[0], p[1])) or (f[0], f[1]) == (p[0], p[1])
+                for f in front
+            )
+
+
+def test_energy():
+    assert energy_j(1e12, 2.0) == pytest.approx(2.0)

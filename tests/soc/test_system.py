@@ -1,0 +1,137 @@
+"""Integration tests: full systems running synthetic programs."""
+
+import pytest
+
+from repro.soc import System, preset
+from repro.trace import Phase, Task, TaskProgram, TraceBuilder, VectorBuilder
+
+
+def alu_trace(n=200, name="alu"):
+    tb = TraceBuilder()
+    with tb.loop(n, overhead=False) as loop:
+        for _ in loop:
+            tb.addi(None)
+            tb.addi(None)
+    return tb.finish(name)
+
+
+def stream_trace(n=256, name="stream"):
+    tb = TraceBuilder()
+    with tb.loop(n, overhead=False) as loop:
+        for i in loop:
+            r = tb.lw(0x100000 + 4 * i)
+            tb.sw(r, 0x200000 + 4 * i)
+    return tb.finish(name)
+
+
+def vec_trace(vlen_bits, n=256, name="vec"):
+    tb = TraceBuilder()
+    vb = VectorBuilder(tb, vlen_bits=vlen_bits)
+    for base, vl in vb.strip_mine(0x300000, n=n, ew=4):
+        v = vb.vle(base, vl=vl)
+        v2 = vb.vfadd(v, v)
+        vb.vse(v2, base + 0x100000, vl=vl)
+    return tb.finish(name)
+
+
+def task_program(n_tasks=8, body=60):
+    tasks = []
+    for t in range(n_tasks):
+        tb = TraceBuilder()
+        base = 0x400000 + t * 0x1000
+        with tb.loop(body, overhead=False) as loop:
+            for i in loop:
+                r = tb.lw(base + 4 * i)
+                tb.addi(r)
+        tasks.append(Task(t, {"scalar": tb.finish(f"t{t}")}))
+    return TaskProgram([Phase(tasks, serial=alu_trace(10, "prologue"))], name="tp")
+
+
+def test_1l_runs_serial_trace():
+    res = System(preset("1L")).run(alu_trace())
+    assert res.system == "1L"
+    assert res.cycles > 0
+    assert res["lit0.instrs"] == 600  # 200 iterations x (2 addi + branch)
+
+
+def test_1b_faster_than_1l_on_ilp():
+    r_l = System(preset("1L")).run(alu_trace())
+    r_b = System(preset("1b")).run(alu_trace())
+    assert r_b.cycles < r_l.cycles
+
+
+def test_vector_systems_run_their_vlen_traces():
+    for name in ("1bIV", "1bDV", "1b-4VL"):
+        cfg = preset(name, switch_penalty=50) if name == "1b-4VL" else preset(name)
+        res = System(cfg).run(vec_trace(cfg.vlen_bits(4)))
+        assert res.cycles > 0, name
+
+
+def test_task_program_uses_all_cores():
+    res = System(preset("1b-4L")).run(task_program())
+    assert res["runtime.tasks"] == 8
+    for i in range(4):
+        assert res[f"lit{i}.instrs"] > 0
+
+
+def test_multicore_beats_single_core_on_tasks():
+    r1 = System(preset("1b")).run(task_program(n_tasks=12, body=100))
+    r5 = System(preset("1b-4L")).run(task_program(n_tasks=12, body=100))
+    assert r5.cycles < r1.cycles
+
+
+def test_vlittle_scalar_mode_equals_big_little():
+    """Paper §V-A: on task-parallel code 1b-4VL == 1bIV-4L == 1b-4L."""
+    r_bl = System(preset("1b-4L")).run(task_program())
+    r_vl = System(preset("1b-4VL")).run(task_program())
+    assert r_vl.cycles == r_bl.cycles
+
+
+def test_dvfs_little_boost_speeds_up_little_bound_work():
+    cfg = preset("1L")
+    slow = System(cfg.with_freqs(little=0.6)).run(alu_trace(400))
+    fast = System(cfg.with_freqs(little=1.2)).run(alu_trace(400))
+    assert fast.stats["time_ps"] < slow.stats["time_ps"]
+    ratio = slow.stats["time_ps"] / fast.stats["time_ps"]
+    assert 1.5 < ratio < 2.1  # compute-bound: ~frequency ratio
+
+
+def test_dvfs_big_frequency_irrelevant_to_little_core_run():
+    cfg = preset("1b-4L")
+    a = System(cfg.with_freqs(big=0.8)).run(alu_trace(400))
+    # serial trace runs on the big core here, so DO expect a difference
+    b = System(cfg.with_freqs(big=1.4)).run(alu_trace(400))
+    assert b.stats["time_ps"] < a.stats["time_ps"]
+
+
+def test_memory_bound_work_insensitive_to_core_frequency():
+    # long strided cold misses: DRAM-bound
+    def mk():
+        tb = TraceBuilder()
+        r_prev = None
+        for i in range(300):
+            r = tb.lw(0x800000 + 64 * i)
+            r_prev = r
+        return tb.finish("cold")
+
+    cfg = preset("1b")
+    slow = System(cfg.with_freqs(big=0.8)).run(mk())
+    fast = System(cfg.with_freqs(big=1.4)).run(mk())
+    ratio = slow.stats["time_ps"] / fast.stats["time_ps"]
+    assert ratio < 1.4  # far less than the 1.75x frequency ratio
+
+
+def test_result_contains_request_counters():
+    res = System(preset("1b")).run(stream_trace())
+    assert res["fetch_requests"] > 0
+    assert res["data_requests"] > 0
+
+
+def test_deadlock_watchdog_fires_on_impossible_program():
+    # a task program on a system with one worker whose task trace is empty is
+    # fine; instead simulate a hang by max_ns too small
+    from repro.errors import DeadlockError
+
+    sys_ = System(preset("1L"))
+    with pytest.raises(DeadlockError):
+        sys_.run(stream_trace(4096), max_ns=10)

@@ -1,0 +1,53 @@
+"""Tests for the statistics infrastructure."""
+
+from repro.stats import Breakdown, Counters, RunResult, STALL_NAMES, Stall
+
+
+def test_stall_categories_match_fig7():
+    assert STALL_NAMES == ["busy", "simd", "raw_mem", "raw_llfu",
+                           "struct", "xelem", "misc"]
+
+
+def test_breakdown_accounting():
+    b = Breakdown()
+    b.add(Stall.BUSY, 3)
+    b.add(Stall.RAW_MEM)
+    assert b.total() == 4
+    assert b.fraction(Stall.BUSY) == 0.75
+    assert b.as_dict()["raw_mem"] == 1
+
+
+def test_breakdown_empty_fraction():
+    assert Breakdown().fraction(Stall.BUSY) == 0.0
+
+
+def test_breakdown_merge():
+    a, b = Breakdown(), Breakdown()
+    a.add(Stall.BUSY, 2)
+    b.add(Stall.BUSY, 3)
+    b.add(Stall.SIMD, 1)
+    m = a.merged_with(b)
+    assert m.counts[Stall.BUSY] == 5
+    assert m.counts[Stall.SIMD] == 1
+    assert a.counts[Stall.BUSY] == 2  # originals untouched
+
+
+def test_counters():
+    c = Counters()
+    c.add("x")
+    c.add("x", 4)
+    assert c["x"] == 5
+    assert c.get("missing") == 0
+    d = Counters()
+    d.add("x", 1)
+    d.add("y", 2)
+    c.merge(d)
+    assert c["x"] == 6 and c["y"] == 2
+    assert c.as_dict() == {"x": 6, "y": 2}
+
+
+def test_run_result_access():
+    r = RunResult("w", "1b", 123, {"a": 1})
+    assert r["a"] == 1
+    assert r["missing"] == 0
+    assert "1b" in repr(r)

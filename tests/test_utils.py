@@ -1,0 +1,87 @@
+"""Unit + property tests for shared helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    Xorshift64,
+    align_down,
+    align_up,
+    ceil_div,
+    geomean,
+    is_pow2,
+    line_addr,
+    lines_spanned,
+    log2i,
+)
+
+
+def test_is_pow2():
+    assert is_pow2(1) and is_pow2(64) and is_pow2(4096)
+    assert not is_pow2(0) and not is_pow2(3) and not is_pow2(-4)
+
+
+def test_log2i():
+    assert log2i(1) == 0
+    assert log2i(64) == 6
+    with pytest.raises(ValueError):
+        log2i(3)
+
+
+@given(st.integers(min_value=0, max_value=2**40), st.sampled_from([1, 2, 4, 8, 64, 4096]))
+def test_align_roundtrip(addr, g):
+    d, u = align_down(addr, g), align_up(addr, g)
+    assert d <= addr <= u
+    assert d % g == 0 and u % g == 0
+    assert u - d in (0, g)
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.integers(min_value=1, max_value=300))
+def test_lines_spanned_cover_range(addr, nbytes):
+    lines = list(lines_spanned(addr, nbytes, 64))
+    assert lines[0] == line_addr(addr, 64)
+    assert lines[-1] == line_addr(addr + nbytes - 1, 64)
+    assert all(b - a == 64 for a, b in zip(lines, lines[1:]))
+
+
+def test_lines_spanned_empty():
+    assert list(lines_spanned(0x100, 0)) == []
+
+
+def test_geomean():
+    assert geomean([]) == 0.0
+    assert math.isclose(geomean([2, 8]), 4.0)
+    with pytest.raises(ValueError):
+        geomean([1, 0])
+
+
+def test_ceil_div():
+    assert ceil_div(10, 4) == 3
+    assert ceil_div(8, 4) == 2
+    assert ceil_div(1, 4) == 1
+
+
+def test_xorshift_deterministic():
+    a, b = Xorshift64(42), Xorshift64(42)
+    assert [a.next() for _ in range(10)] == [b.next() for _ in range(10)]
+
+
+def test_xorshift_zero_seed_ok():
+    r = Xorshift64(0)
+    assert r.next() != 0
+
+
+@given(st.integers(min_value=1, max_value=2**63), st.integers(0, 100), st.integers(0, 100))
+def test_xorshift_randint_in_range(seed, lo, span):
+    r = Xorshift64(seed)
+    for _ in range(20):
+        v = r.randint(lo, lo + span)
+        assert lo <= v <= lo + span
+
+
+def test_xorshift_random_unit_interval():
+    r = Xorshift64(7)
+    for _ in range(100):
+        assert 0.0 <= r.random() < 1.0

@@ -1,0 +1,156 @@
+"""Unit tests for the scalar trace builder DSL."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.isa.scalar import Op
+from repro.trace import TraceBuilder
+
+
+def test_simple_emission_and_pcs_advance():
+    tb = TraceBuilder(start_pc=0x1000)
+    a = tb.li()
+    b = tb.li()
+    c = tb.add(a, b)
+    tr = tb.finish("t")
+    assert len(tr) == 3
+    assert [i.pc for i in tr] == [0x1000, 0x1004, 0x1008]
+    assert tr[2].op == Op.ADD
+    assert tr[2].srcs == (a, b)
+    assert tr[2].dst == c
+
+
+def test_fresh_registers_are_unique():
+    tb = TraceBuilder()
+    regs = [tb.newreg() for _ in range(100)]
+    assert len(set(regs)) == 100
+
+
+def test_load_store_carry_addr_and_size():
+    tb = TraceBuilder()
+    r = tb.lw(0x2000)
+    tb.sw(r, 0x2004)
+    d = tb.fld(0x3000)
+    tb.fsd(d, 0x3008)
+    tr = tb.finish()
+    assert tr[0].addr == 0x2000 and tr[0].size == 4
+    assert tr[1].addr == 0x2004 and tr[1].size == 4
+    assert tr[1].srcs == (r,)
+    assert tr[2].size == 8
+    assert tr[3].size == 8
+
+
+def test_loop_pcs_stable_across_iterations():
+    tb = TraceBuilder(start_pc=0)
+    with tb.loop(3, overhead=False) as loop:
+        for _ in loop:
+            tb.addi(None)
+            tb.addi(None)
+    tr = tb.finish()
+    # 3 iterations x (2 addi + 1 branch)
+    assert len(tr) == 9
+    body_pcs = [i.pc for i in tr]
+    assert body_pcs[0:3] == body_pcs[3:6] == body_pcs[6:9]
+
+
+def test_loop_branch_directions():
+    tb = TraceBuilder()
+    with tb.loop(4, overhead=False) as loop:
+        for _ in loop:
+            tb.addi(None)
+    tr = tb.finish()
+    branches = [i for i in tr if i.op == Op.BR]
+    assert [b.taken for b in branches] == [True, True, True, False]
+    # taken branches point back at the loop head
+    head = tr[0].pc
+    assert all(b.target == head for b in branches if b.taken)
+
+
+def test_loop_overhead_adds_induction_update():
+    tb = TraceBuilder()
+    with tb.loop(2, overhead=True) as loop:
+        for _ in loop:
+            tb.nop()
+    tr = tb.finish()
+    # per iteration: nop + addi + branch
+    assert len(tr) == 6
+    assert tr[1].op == Op.ADDI
+    assert tr[2].op == Op.BR
+
+
+def test_pc_continues_after_loop():
+    tb = TraceBuilder(start_pc=0)
+    with tb.loop(2, overhead=False) as loop:
+        for _ in loop:
+            tb.nop()
+    after = tb.addi(None)
+    tr = tb.finish()
+    nop_pcs = {i.pc for i in tr if i.op == Op.NOP}
+    addi = [i for i in tr if i.dst == after][0]
+    assert addi.pc not in nop_pcs
+    assert addi.pc > max(nop_pcs)
+
+
+def test_nested_loops_have_distinct_pcs():
+    tb = TraceBuilder()
+    with tb.loop(2, overhead=False) as outer:
+        for _ in outer:
+            tb.addi(None)
+            with tb.loop(2, overhead=False) as inner:
+                for _ in inner:
+                    tb.nop()
+    tr = tb.finish()
+    outer_pcs = {i.pc for i in tr if i.op == Op.ADDI}
+    inner_pcs = {i.pc for i in tr if i.op == Op.NOP}
+    assert len(outer_pcs) == 1
+    assert len(inner_pcs) == 1
+    assert outer_pcs.isdisjoint(inner_pcs)
+
+
+def test_zero_iteration_loop_emits_nothing():
+    tb = TraceBuilder()
+    with tb.loop(0) as loop:
+        for _ in loop:
+            tb.nop()
+    assert len(tb.finish()) == 0
+
+
+def test_negative_loop_count_rejected():
+    tb = TraceBuilder()
+    with pytest.raises(TraceError):
+        tb.loop(-1)
+
+
+def test_emit_after_finish_rejected():
+    tb = TraceBuilder()
+    tb.finish()
+    with pytest.raises(TraceError):
+        tb.nop()
+
+
+def test_branch_helper():
+    tb = TraceBuilder()
+    c = tb.slt(tb.li(), tb.li())
+    tb.branch(taken=True, cond_reg=c, target=0x40)
+    tr = tb.finish()
+    br = tr[-1]
+    assert br.op == Op.BR and br.taken and br.target == 0x40 and br.srcs == (c,)
+
+
+def test_fmadd_three_sources():
+    tb = TraceBuilder()
+    a, b, c = tb.li(), tb.li(), tb.li()
+    d = tb.fmadd(a, b, c)
+    tr = tb.finish()
+    assert tr[-1].srcs == (a, b, c)
+    assert tr[-1].dst == d
+
+
+def test_amoadd_has_dst_and_addr():
+    tb = TraceBuilder()
+    s = tb.li()
+    d = tb.amoadd(0x8000, s)
+    tr = tb.finish()
+    assert tr[-1].op == Op.AMOADD
+    assert tr[-1].dst == d
+    assert tr[-1].addr == 0x8000

@@ -1,0 +1,60 @@
+"""Tests for trace instruction records."""
+
+import pytest
+
+from repro.isa.scalar import Op
+from repro.isa.vector import VOp
+from repro.trace import SInstr, Trace, VInstr
+
+
+def test_sinstr_repr():
+    i = SInstr(0x100, Op.LW, dst=5, srcs=(1,), addr=0x2000, size=4)
+    r = repr(i)
+    assert "LW" in r and "0x2000" in r
+    b = SInstr(0x104, Op.BR, taken=True, target=0x100)
+    assert "T" in repr(b)
+
+
+def test_sinstr_not_vector():
+    assert not SInstr(0, Op.NOP).is_vector
+
+
+def test_vinstr_is_vector_and_repr():
+    v = VInstr(0, VOp.VLE, vd=1, vl=8, ew=4, base=0x1000)
+    assert v.is_vector
+    assert "VLE" in repr(v)
+
+
+def test_element_addrs_unit_stride():
+    v = VInstr(0, VOp.VLE, vd=1, vl=4, ew=4, base=0x100)
+    assert v.element_addrs() == [0x100, 0x104, 0x108, 0x10C]
+
+
+def test_element_addrs_strided():
+    v = VInstr(0, VOp.VLSE, vd=1, vl=3, ew=4, base=0x100, stride=64)
+    assert v.element_addrs() == [0x100, 0x140, 0x180]
+
+
+def test_element_addrs_indexed_priority():
+    v = VInstr(0, VOp.VLUXEI, vd=1, vl=2, ew=4, base=None, addrs=[7, 99])
+    assert v.element_addrs() == [7, 99]
+
+
+def test_element_addrs_non_memory_raises():
+    v = VInstr(0, VOp.VADD, vd=1, vl=4, ew=4)
+    with pytest.raises(ValueError):
+        v.element_addrs()
+
+
+def test_trace_counts_and_element_ops():
+    instrs = [
+        SInstr(0, Op.ADD, dst=1),
+        VInstr(4, VOp.VLE, vd=1, vl=8, ew=4, base=0),
+        VInstr(8, VOp.VADD, vd=2, vl=8, ew=4),
+    ]
+    t = Trace(instrs, name="t")
+    assert t.counts() == (1, 2)
+    assert t.vector_element_ops() == 16
+    assert len(t) == 3
+    assert t[0].op == Op.ADD
+    assert list(iter(t)) == instrs

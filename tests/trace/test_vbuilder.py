@@ -1,0 +1,188 @@
+"""Unit tests for the vector (RVV-style) trace builder."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.isa.vector import VOp
+from repro.trace import TraceBuilder, VectorBuilder
+
+
+def make(vlen=512):
+    tb = TraceBuilder()
+    return tb, VectorBuilder(tb, vlen_bits=vlen)
+
+
+def test_vlmax_by_element_width():
+    _, vb = make(512)
+    assert vb.vlmax(4) == 16
+    assert vb.vlmax(8) == 8
+    _, vb128 = make(128)
+    assert vb128.vlmax(4) == 4
+
+
+def test_bad_vlen_rejected():
+    tb = TraceBuilder()
+    with pytest.raises(TraceError):
+        VectorBuilder(tb, vlen_bits=100)
+    with pytest.raises(TraceError):
+        VectorBuilder(tb, vlen_bits=0)
+
+
+def test_vsetvl_grants_min_of_avl_and_vlmax():
+    tb, vb = make(512)
+    assert vb.vsetvl(100, ew=4) == 16
+    assert vb.vsetvl(7, ew=4) == 7
+    tr = tb.finish()
+    assert tr[0].op == VOp.VSETVL and tr[0].vl == 16
+    assert tr[1].vl == 7
+
+
+def test_vsetvl_requires_positive_avl():
+    _, vb = make()
+    with pytest.raises(TraceError):
+        vb.vsetvl(0)
+
+
+def test_arith_inherits_current_vl_and_ew():
+    tb, vb = make(512)
+    vb.vsetvl(10, ew=4)
+    v1 = vb.vle(0x1000)
+    v2 = vb.vadd(v1, v1)
+    tr = tb.finish()
+    add = tr[-1]
+    assert add.vl == 10 and add.ew == 4
+    assert add.dep_ids == (v1[1], v1[1])
+
+
+def test_strip_mine_covers_exactly_n_elements():
+    tb, vb = make(512)
+    chunks = list(vb.strip_mine(0x1000, n=40, ew=4))
+    assert sum(vl for _, vl in chunks) == 40
+    assert chunks[0] == (0x1000, 16)
+    assert chunks[1] == (0x1000 + 64, 16)
+    assert chunks[2] == (0x1000 + 128, 8)
+
+
+def test_strip_mine_vlen_agnostic_property():
+    # The same generator covers n elements for any VLEN (paper §II-C: VLA).
+    for vlen in (128, 256, 512, 1024, 2048):
+        tb, vb = make(vlen)
+        total = sum(vl for _, vl in vb.strip_mine(0, n=1000, ew=4))
+        assert total == 1000, vlen
+
+
+def test_strip_mine_loop_pcs_stable():
+    tb, vb = make(128)
+    for base, vl in vb.strip_mine(0, n=12, ew=4):
+        v = vb.vle(base, vl=vl)
+        vb.vse(v, base, vl=vl)
+    tr = tb.finish()
+    vles = [i for i in tr if getattr(i, "op", None) == VOp.VLE]
+    assert len(vles) == 3
+    assert len({i.pc for i in vles}) == 1
+
+
+def test_unit_stride_element_addrs():
+    tb, vb = make(512)
+    vb.vsetvl(16, ew=4)
+    v = vb.vle(0x1000)
+    tr = tb.finish()
+    assert tr[-1].element_addrs() == [0x1000 + 4 * i for i in range(16)]
+
+
+def test_strided_element_addrs():
+    tb, vb = make(512)
+    vb.vsetvl(4, ew=4)
+    vb.vlse(0x1000, stride=128)
+    tr = tb.finish()
+    assert tr[-1].element_addrs() == [0x1000, 0x1080, 0x1100, 0x1180]
+
+
+def test_indexed_load_keeps_explicit_addrs():
+    tb, vb = make(512)
+    vb.vsetvl(4, ew=4)
+    addrs = [0x10, 0x200, 0x30, 0x4000]
+    vb.vluxei(addrs)
+    tr = tb.finish()
+    assert tr[-1].op == VOp.VLUXEI
+    assert tr[-1].element_addrs() == addrs
+    assert tr[-1].vl == 4
+
+
+def test_mask_adds_dependency_and_flag():
+    tb, vb = make(512)
+    vb.vsetvl(8)
+    a = vb.vle(0)
+    b = vb.vle(64)
+    m = vb.vmflt(a, b)
+    c = vb.vfadd(a, b, mask=m)
+    tr = tb.finish()
+    masked = tr[-1]
+    assert masked.masked
+    assert m[1] in masked.dep_ids
+
+
+def test_vmacc_writes_accumulator_in_place():
+    tb, vb = make(512)
+    vb.vsetvl(8)
+    acc = vb.vmv_v_x(tb.newreg())
+    a = vb.vle(0)
+    b = vb.vle(64)
+    acc2 = vb.vmacc(acc, a, b)
+    assert acc2[0] == acc[0]  # same architectural register
+    assert acc2[1] != acc[1]  # new producer
+
+
+def test_scalar_result_ops_return_scalar_reg():
+    tb, vb = make(512)
+    vb.vsetvl(8)
+    a = vb.vle(0)
+    red = vb.vredsum(a)
+    rd = vb.vmv_x_s(red)
+    assert isinstance(rd, int)
+    tr = tb.finish()
+    assert tr[-1].op == VOp.VMV_XS and tr[-1].rd == rd
+
+
+def test_vpopc_returns_scalar_reg():
+    tb, vb = make(512)
+    vb.vsetvl(8)
+    a = vb.vle(0)
+    m = vb.vmseq(a, a)
+    rd = vb.vpopc(m)
+    assert isinstance(rd, int)
+
+
+def test_vreg_rotation_skips_v0():
+    tb, vb = make(512)
+    vb.vsetvl(4)
+    regs = [vb.vle(0)[0] for _ in range(64)]
+    assert 0 not in regs
+    assert max(regs) <= 31
+
+
+def test_sequence_ids_monotonic():
+    tb, vb = make(512)
+    vb.vsetvl(4)
+    seqs = []
+    for _ in range(5):
+        seqs.append(vb.vle(0)[1])
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == 5
+
+
+def test_vmfence_emitted():
+    tb, vb = make(512)
+    vb.vsetvl(4)
+    vb.vmfence()
+    tr = tb.finish()
+    assert tr[-1].op == VOp.VMFENCE
+
+
+def test_scalar_operand_travels_with_instr():
+    tb, vb = make(512)
+    vb.vsetvl(4)
+    rs = tb.newreg()
+    v = vb.vmv_v_x(rs)
+    tr = tb.finish()
+    assert tr[-1].rs == (rs,)

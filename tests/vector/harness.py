@@ -1,0 +1,70 @@
+"""Shared helpers for vector-engine tests: build a big core + engine + memory
+and run a trace to completion."""
+
+from repro.cores import BigCore, LittleCore
+from repro.mem import MemorySystem
+from repro.trace import TraceBuilder, TraceSource, VectorBuilder
+from repro.vector import DecoupledVectorEngine, VLittleEngine
+
+from tests.cores.harness import prewarm, warm_icache_for
+
+
+def build_vlittle(n_little=4, **engine_kw):
+    ms = MemorySystem(n_big=1, n_little=n_little)
+    littles = [
+        LittleCore(f"lit{i}", ms.little_l1i[i], ms.little_l1d[i])
+        for i in range(n_little)
+    ]
+    engine = VLittleEngine(littles, **engine_kw)
+    big = BigCore("big0", ms.big_l1i[0], ms.big_l1d[0],
+                  vector_mode="decoupled", engine=engine)
+    return ms, big, engine
+
+
+def build_dve(**engine_kw):
+    ms = MemorySystem(n_big=1, n_little=0)
+    port = ms.make_raw_port("dve0")
+    engine = DecoupledVectorEngine(ms.l2, port, **engine_kw)
+    big = BigCore("big0", ms.big_l1i[0], ms.big_l1d[0],
+                  vector_mode="decoupled", engine=engine)
+    return ms, big, engine
+
+
+def run(ms, big, engine, trace, warm_i=True, max_cycles=500_000):
+    if warm_i:
+        warm_icache_for(ms, trace, "big")
+    big.set_source(TraceSource(trace))
+    for now in range(max_cycles):
+        big.set_now_hint(now)
+        big.tick(now)
+        engine.tick(now)
+        ms.tick(now)
+        if big.done() and engine.idle():
+            return now + 1
+    raise AssertionError("vector run did not finish")
+
+
+def vec_builder(vlen_bits):
+    tb = TraceBuilder()
+    return tb, VectorBuilder(tb, vlen_bits=vlen_bits)
+
+
+def saxpy_trace(vlen_bits, n, x=0x100000, y=0x200000):
+    """Streaming a*X+Y: the canonical memory+FP kernel."""
+    tb, vb = vec_builder(vlen_bits)
+    a = tb.li()
+    remaining, off = n, 0
+    head = tb.pc
+    while remaining > 0:
+        tb.set_pc(head)
+        vl = vb.vsetvl(remaining, ew=4)
+        vx = vb.vle(x + off, ew=4)
+        vy = vb.vle(y + off, ew=4)
+        vm = vb.vfmul_vf(vx, a)
+        vs = vb.vfadd(vm, vy)
+        vb.vse(vs, y + off, ew=4)
+        remaining -= vl
+        off += vl * 4
+        tb.addi(None)
+        tb.branch(taken=remaining > 0, target=head if remaining > 0 else None)
+    return tb.finish("saxpy")

@@ -1,0 +1,125 @@
+"""Tests for the decoupled vector engine (1bDV baseline)."""
+
+from repro.trace import TraceBuilder, VectorBuilder
+
+from tests.vector.harness import build_dve, run, saxpy_trace, vec_builder
+
+
+def test_vlmax():
+    _, _, engine = build_dve()
+    assert engine.vlmax(4) == 64
+    assert engine.vlmax(8) == 32
+
+
+def test_simple_vector_add_completes():
+    ms, big, engine = build_dve()
+    tb, vb = vec_builder(2048)
+    vb.vsetvl(64, ew=4)
+    v1 = vb.vle(0x100000)
+    v2 = vb.vle(0x110000)
+    v3 = vb.vadd(v1, v2)
+    vb.vse(v3, 0x120000)
+    cycles = run(ms, big, engine, tb.finish())
+    assert engine.instrs == 5
+    assert cycles < 2000
+
+
+def test_saxpy_runs_and_uses_line_requests():
+    ms, big, engine = build_dve()
+    n = 1024
+    cycles = run(ms, big, engine, saxpy_trace(2048, n))
+    # 2 loads + 1 store per 64-element strip, 4 lines each
+    strips = n // 64
+    assert engine.line_reqs >= strips * 3 * 4
+    assert cycles < 60_000
+
+
+def test_engine_decouples_loads_from_compute():
+    # Deep dependent FP chain after each load: loads for later strips should
+    # be fetched while earlier strips compute. Compare against an engine with
+    # no run-ahead (max_inflight=1, lines_per_cycle=1, loadq 4).
+    tb, vb = vec_builder(2048)
+    for base, vl in vb.strip_mine(0x300000, n=512, ew=4):
+        v = vb.vle(base, vl=vl)
+        acc = v
+        for _ in range(4):
+            acc = vb.vfmul(acc, acc)
+        vb.vse(acc, base + 0x100000, vl=vl)
+    trace = tb.finish()
+
+    ms1, big1, fast = build_dve()
+    fast_cycles = run(ms1, big1, fast, trace)
+
+    tb2, vb2 = vec_builder(2048)
+    for base, vl in vb2.strip_mine(0x300000, n=512, ew=4):
+        v = vb2.vle(base, vl=vl)
+        acc = v
+        for _ in range(4):
+            acc = vb2.vfmul(acc, acc)
+        vb2.vse(acc, base + 0x100000, vl=vl)
+    trace2 = tb2.finish()
+    ms2, big2, slow = build_dve(max_inflight=1, lines_per_cycle=1, loadq_lines=4)
+    slow_cycles = run(ms2, big2, slow, trace2)
+    assert fast_cycles < slow_cycles
+
+
+def test_reduction_returns_scalar_to_big_core():
+    ms, big, engine = build_dve()
+    tb, vb = vec_builder(2048)
+    vb.vsetvl(64, ew=4)
+    v = vb.vle(0x400000)
+    r = vb.vfredsum(v)
+    rd = vb.vmv_x_s(r)
+    tb.addi(rd)  # scalar consumer
+    cycles = run(ms, big, engine, tb.finish())
+    assert big.instrs >= 1
+    assert cycles < 2000
+
+
+def test_vmfence_waits_for_outstanding_memory():
+    ms, big, engine = build_dve()
+    tb, vb = vec_builder(2048)
+    vb.vsetvl(64, ew=4)
+    v = vb.vle(0x500000)
+    vb.vse(v, 0x510000)
+    vb.vmfence()
+    scalar = tb.lw(0x510000)
+    tb.addi(scalar)
+    cycles = run(ms, big, engine, tb.finish())
+    assert cycles < 3000
+    assert engine.idle()
+
+
+def test_wider_engine_fewer_instructions_same_elements():
+    n = 2048
+    traces = {}
+    for vlen in (512, 2048):
+        tb, vb = vec_builder(vlen)
+        for base, vl in vb.strip_mine(0x600000, n=n, ew=4):
+            v = vb.vle(base, vl=vl)
+            v2 = vb.vadd(v, v)
+            vb.vse(v2, base + 0x100000, vl=vl)
+        traces[vlen] = tb.finish()
+    assert len(traces[2048]) < len(traces[512])
+
+
+def test_chime_occupancy_scales_with_vl():
+    # 64 elements on 16 lanes = 4 chimes; 16 elements = 1 chime
+    ms, big, engine = build_dve()
+    tb, vb = vec_builder(2048)
+    vb.vsetvl(64, ew=4)
+    vs = [vb.vle(0x700000 + i * 0x1000) for i in range(2)]
+    long_chain = vb.vadd(vs[0], vs[1])
+    for _ in range(30):
+        long_chain = vb.vadd(long_chain, long_chain)
+    c_long = run(ms, big, engine, tb.finish())
+
+    ms2, big2, engine2 = build_dve()
+    tb2, vb2 = vec_builder(2048)
+    vb2.vsetvl(16, ew=4)
+    vs = [vb2.vle(0x700000 + i * 0x1000) for i in range(2)]
+    chain = vb2.vadd(vs[0], vs[1])
+    for _ in range(30):
+        chain = vb2.vadd(chain, chain)
+    c_short = run(ms2, big2, engine2, tb2.finish())
+    assert c_long > c_short

@@ -1,0 +1,100 @@
+"""Additional decoupled-engine unit tests (1bDV internals)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace import TraceBuilder, VectorBuilder
+from repro.vector import DecoupledVectorEngine
+
+from tests.vector.harness import build_dve, run, vec_builder
+
+
+def test_bad_vlen_rejected():
+    with pytest.raises(ConfigError):
+        DecoupledVectorEngine(None, None, vlen_bits=100)
+
+
+def test_vsetvl_answered_at_dispatch_not_queue_head():
+    # a full pipeline of slow ops ahead must not delay the vsetvl response
+    ms, big, e = build_dve()
+    tb, vb = vec_builder(2048)
+    vb.vsetvl(64, ew=4)
+    v = vb.vle(0x100000)
+    chain = v
+    for _ in range(10):
+        chain = vb.vfdiv(chain, chain)  # slow serial chain in the engine
+    vl2 = vb.vsetvl(32, ew=4)  # strip-mine bookkeeping must not stall
+    tb.addi(None)
+    cycles = run(ms, big, e, tb.finish())
+    # chain of 10 serial packed fdivs on 64 elems dominates; the point is
+    # that the run completes with the big core well ahead (no deadlock and
+    # no per-strip round trip)
+    assert big.done()
+
+
+def test_store_counts_tracked():
+    ms, big, e = build_dve()
+    tb, vb = vec_builder(2048)
+    vb.vsetvl(64, ew=4)
+    v = vb.vle(0x200000)
+    vb.vse(v, 0x210000)
+    run(ms, big, e, tb.finish())
+    assert e.store_line_reqs == 4  # 64 x 4B = 256B = 4 lines
+    assert e.line_reqs == 8
+
+
+def test_loadq_limits_prefetch():
+    def trace():
+        tb, vb = vec_builder(2048)
+        for base, vl in vb.strip_mine(0x300000, 2048, ew=4):
+            v = vb.vle(base, vl=vl)
+            vb.vse(v, base + 0x100000, vl=vl)
+        return tb.finish()
+
+    ms1, b1, deep = build_dve(loadq_lines=64)
+    c_deep = run(ms1, b1, deep, trace())
+    ms2, b2, shallow = build_dve(loadq_lines=4)
+    c_shallow = run(ms2, b2, shallow, trace())
+    assert c_shallow > c_deep
+
+
+def test_masked_ops_execute():
+    ms, big, e = build_dve()
+    tb, vb = vec_builder(2048)
+    vb.vsetvl(64, ew=4)
+    a = vb.vle(0x400000)
+    b = vb.vle(0x410000)
+    m = vb.vmflt(a, b)
+    c = vb.vfadd(a, b, mask=m)
+    vb.vse(c, 0x420000)
+    cycles = run(ms, big, e, tb.finish())
+    assert cycles < 2000
+
+
+def test_int_divide_serializes_chimes():
+    ms, big, e = build_dve()
+    tb, vb = vec_builder(2048)
+    vb.vsetvl(64, ew=4)
+    a = vb.vle(0x500000)
+    vb.vdiv(a, a)
+    c_div = run(ms, big, e, tb.finish())
+
+    ms2, big2, e2 = build_dve()
+    tb2, vb2 = vec_builder(2048)
+    vb2.vsetvl(64, ew=4)
+    a2 = vb2.vle(0x500000)
+    vb2.vadd(a2, a2)
+    c_add = run(ms2, big2, e2, tb2.finish())
+    assert c_div > c_add + 20  # unpipelined divide occupancy
+
+
+def test_engine_idle_after_completion():
+    ms, big, e = build_dve()
+    tb, vb = vec_builder(2048)
+    vb.vsetvl(64, ew=4)
+    v = vb.vle(0x600000)
+    vb.vse(v, 0x610000)
+    run(ms, big, e, tb.finish())
+    assert e.idle()
+    assert e._loadq_used == 0
+    assert e._inflight == 0

@@ -1,0 +1,69 @@
+"""Multi-region vector execution: CSR-triggered mode exits (§III-B)."""
+
+from repro.soc import System, preset
+from repro.trace import TraceBuilder, VectorBuilder
+
+
+def region_trace(vlen_bits, n_regions, exit_between, elems=64):
+    tb = TraceBuilder()
+    vb = VectorBuilder(tb, vlen_bits=vlen_bits)
+    for r in range(n_regions):
+        base = 0x100000 + r * 0x10000
+        for chunk, vl in vb.strip_mine(base, elems, ew=4):
+            v = vb.vle(chunk, vl=vl)
+            v2 = vb.vadd(v, v)
+            vb.vse(v2, chunk + 0x8000, vl=vl)
+        if exit_between and r != n_regions - 1:
+            vb.mode_exit()
+            # some scalar-phase work between regions
+            for _ in range(20):
+                tb.addi(None)
+    return tb.finish("regions")
+
+
+def run_cfg(cfg, trace):
+    s = System(cfg)
+    res = s.run(trace)
+    return res, s
+
+
+def test_single_region_pays_switch_once():
+    cfg = preset("1b-4VL", switch_penalty=300)
+    res, s = run_cfg(cfg, region_trace(cfg.vlen_bits(4), 3, exit_between=False))
+    assert s.engine.mode_switches == 1
+
+
+def test_exits_repay_the_switch_penalty():
+    cfg = preset("1b-4VL", switch_penalty=300)
+    res, s = run_cfg(cfg, region_trace(cfg.vlen_bits(4), 3, exit_between=True))
+    assert s.engine.mode_switches == 3
+
+    cfg2 = preset("1b-4VL", switch_penalty=300)
+    res_single, _ = run_cfg(cfg2, region_trace(cfg2.vlen_bits(4), 3, exit_between=False))
+    extra = res.cycles - res_single.cycles
+    # two extra switches plus drain/serialization overhead
+    assert extra >= 2 * 300
+
+
+def test_exit_waits_for_engine_drain():
+    # the CSR write cannot retire while vector stores are still in flight
+    cfg = preset("1b-4VL", switch_penalty=0)
+    tb = TraceBuilder()
+    vb = VectorBuilder(tb, vlen_bits=cfg.vlen_bits(4))
+    vb.vsetvl(16, ew=4)
+    v = vb.vle(0x200000)
+    vb.vse(v, 0x210000)
+    vb.mode_exit()
+    tb.addi(None)
+    res, s = run_cfg(cfg, tb.finish())
+    assert s.engine.idle()
+    assert res.cycles > 0
+
+
+def test_zero_penalty_regions_cost_little():
+    cfg = preset("1b-4VL", switch_penalty=0)
+    r_multi, _ = run_cfg(cfg, region_trace(cfg.vlen_bits(4), 3, exit_between=True))
+    cfg2 = preset("1b-4VL", switch_penalty=0)
+    r_single, _ = run_cfg(cfg2, region_trace(cfg2.vlen_bits(4), 3, exit_between=False))
+    # with free switching, exits cost only the drain serialization
+    assert r_multi.cycles < r_single.cycles * 1.6

@@ -1,0 +1,234 @@
+"""Tests for the VLITTLE engine (the paper's contribution)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.stats import Stall
+from repro.trace import TraceBuilder, VectorBuilder
+
+from tests.vector.harness import build_vlittle, run, saxpy_trace, vec_builder
+
+
+def test_vlmax_matches_paper_configurations():
+    # paper §III-C / Fig 2: 4 little cores, 2 chimes, packed 32-bit elements
+    # => 512-bit hardware vector length
+    _, _, e = build_vlittle(chimes=2, packed=True)
+    assert e.vlmax(4) == 16
+    assert e.vlen_bits(4) == 512
+    # Fig 7 ablations
+    _, _, e1 = build_vlittle(chimes=1, packed=False)
+    assert e1.vlmax(4) == 4
+    _, _, e2 = build_vlittle(chimes=1, packed=True)
+    assert e2.vlmax(4) == 8
+
+
+def test_reconfiguration_disables_cores_and_banks_l1ds():
+    ms, big, e = build_vlittle()
+    for c in e.cores:
+        assert not c.active
+        assert c.l1d._bank_shift == 2  # 4 banks
+
+
+def test_chimes_validation():
+    with pytest.raises(ConfigError):
+        build_vlittle(chimes=3)
+
+
+def test_simple_vadd_completes():
+    ms, big, e = build_vlittle(switch_penalty=0)
+    tb, vb = vec_builder(512)
+    vb.vsetvl(16, ew=4)
+    v1 = vb.vle(0x100000)
+    v2 = vb.vle(0x110000)
+    v3 = vb.vadd(v1, v2)
+    vb.vse(v3, 0x120000)
+    cycles = run(ms, big, e, tb.finish())
+    assert e.instrs == 5
+    assert cycles < 2000
+    assert e.vmu.line_reqs >= 3  # 64B per op at 16x4B
+
+
+def test_switch_penalty_applied_once():
+    def go(pen):
+        ms, big, e = build_vlittle(switch_penalty=pen)
+        tb, vb = vec_builder(512)
+        for base, vl in vb.strip_mine(0x100000, n=64, ew=4):
+            v = vb.vle(base, vl=vl)
+            vb.vse(v, base + 0x10000, vl=vl)
+        return run(ms, big, e, tb.finish()), e
+
+    c0, e0 = go(0)
+    c500, e500 = go(500)
+    assert e500.mode_switches == 1
+    assert 400 <= c500 - c0 <= 700
+
+
+def test_saxpy_completes_and_breakdown_accounts_all_cycles():
+    ms, big, e = build_vlittle(switch_penalty=0)
+    cycles = run(ms, big, e, saxpy_trace(512, 256))
+    bd = e.breakdown()
+    # every lane is charged exactly one category per cycle
+    assert bd.total() == 4 * cycles
+    assert bd.counts[Stall.BUSY] > 0
+
+
+def test_unit_stride_spreads_across_banks():
+    ms, big, e = build_vlittle(switch_penalty=0)
+    tb, vb = vec_builder(512)
+    for base, vl in vb.strip_mine(0x200000, n=256, ew=4):
+        v = vb.vle(base, vl=vl)
+        vb.vse(v, base + 0x10000, vl=vl)
+    run(ms, big, e, tb.finish())
+    accesses = [c.l1d.accesses for c in e.cores]
+    assert all(a > 0 for a in accesses)
+    assert max(accesses) <= 2 * min(accesses)  # roughly balanced
+
+
+def test_packed_halves_uop_count():
+    def uops(packed):
+        ms, big, e = build_vlittle(switch_penalty=0, packed=packed, chimes=1)
+        tb, vb = vec_builder(e.vlen_bits(4))
+        for base, vl in vb.strip_mine(0x300000, n=64, ew=4):
+            v = vb.vle(base, vl=vl)
+            v2 = vb.vadd(v, v)
+            vb.vse(v2, base + 0x10000, vl=vl)
+        run(ms, big, e, tb.finish())
+        return sum(l.uops_issued for l in e.lanes)
+
+    assert uops(False) > 1.7 * uops(True)
+
+
+def test_two_chimes_hide_fp_latency():
+    # dependent-free FP stream: with 2 chimes the second group overlaps the
+    # first group's latency
+    def cycles(chimes):
+        ms, big, e = build_vlittle(switch_penalty=0, chimes=chimes, packed=True)
+        tb, vb = vec_builder(e.vlen_bits(4))
+        for base, vl in vb.strip_mine(0x400000, n=256, ew=4):
+            va = vb.vle(base, vl=vl)
+            m = vb.vfmul(va, va)
+            m2 = vb.vfmul(m, m)
+            vb.vse(m2, base + 0x20000, vl=vl)
+        return run(ms, big, e, tb.finish())
+
+    c1 = cycles(1)
+    c2 = cycles(2)
+    # 2 chimes move twice the elements per instruction; well under 2x time
+    assert c2 < 1.6 * c1
+
+
+def test_reduction_via_ring_and_scalar_response():
+    ms, big, e = build_vlittle(switch_penalty=0)
+    tb, vb = vec_builder(512)
+    vb.vsetvl(16, ew=4)
+    v = vb.vle(0x500000)
+    r = vb.vfredsum(v)
+    rd = vb.vmv_x_s(r)
+    tb.addi(rd)
+    cycles = run(ms, big, e, tb.finish())
+    assert e.vxu.ops_completed >= 1
+    assert cycles < 2000
+
+
+def test_vrgather_roundtrip():
+    ms, big, e = build_vlittle(switch_penalty=0)
+    tb, vb = vec_builder(512)
+    vb.vsetvl(16, ew=4)
+    v = vb.vle(0x600000)
+    idx = vb.vid()
+    g = vb.vrgather(v, idx)
+    vb.vse(g, 0x610000)
+    cycles = run(ms, big, e, tb.finish())
+    assert e.vxu.ops_completed == 1
+    assert cycles < 2000
+
+
+def test_xelem_stalls_recorded_during_cross_ops():
+    ms, big, e = build_vlittle(switch_penalty=0)
+    tb, vb = vec_builder(512)
+    vb.vsetvl(16, ew=4)
+    v = vb.vle(0x700000)
+    r = vb.vredsum(v)
+    r2 = vb.vredsum(r)
+    vb.vse(r2, 0x710000)
+    run(ms, big, e, tb.finish())
+    bd = e.breakdown()
+    assert bd.counts[Stall.XELEM] > 0
+
+
+def test_indexed_gather_completes():
+    ms, big, e = build_vlittle(switch_penalty=0)
+    tb, vb = vec_builder(512)
+    vb.vsetvl(16, ew=4)
+    idx = vb.vid()
+    addrs = [0x800000 + 256 * i for i in range(16)]
+    g = vb.vluxei(addrs, vindex=idx)
+    vb.vse(g, 0x810000)
+    cycles = run(ms, big, e, tb.finish())
+    assert cycles < 5000
+    # 16 elements, 256B apart: no coalescing possible => 16 line requests
+    assert e.vmu.line_reqs >= 16
+
+
+def test_store_to_load_same_line_orders_through_cam():
+    ms, big, e = build_vlittle(switch_penalty=0)
+    tb, vb = vec_builder(512)
+    vb.vsetvl(16, ew=4)
+    v = vb.vle(0x900000)
+    vb.vse(v, 0x910000)
+    v2 = vb.vle(0x910000)  # reads the line the store writes
+    vb.vse(v2, 0x920000)
+    cycles = run(ms, big, e, tb.finish())
+    assert cycles < 5000
+    assert sum(s.cam_stalls for s in e.vmu.vmsus) > 0
+
+
+def test_vmfence_orders_vector_store_before_scalar_load():
+    ms, big, e = build_vlittle(switch_penalty=0)
+    tb, vb = vec_builder(512)
+    vb.vsetvl(16, ew=4)
+    v = vb.vle(0xA00000)
+    vb.vse(v, 0xA10000)
+    vb.vmfence()
+    r = tb.lw(0xA10000)
+    tb.addi(r)
+    cycles = run(ms, big, e, tb.finish())
+    assert cycles < 5000
+    assert e.idle()
+
+
+def test_masked_op_depends_on_mask_producer():
+    ms, big, e = build_vlittle(switch_penalty=0)
+    tb, vb = vec_builder(512)
+    vb.vsetvl(16, ew=4)
+    a = vb.vle(0xB00000)
+    b = vb.vle(0xB10000)
+    m = vb.vmflt(a, b)
+    c = vb.vfadd(a, b, mask=m)
+    vb.vse(c, 0xB20000)
+    cycles = run(ms, big, e, tb.finish())
+    assert cycles < 3000
+
+
+def test_trace_vlen_mismatch_rejected():
+    ms, big, e = build_vlittle(switch_penalty=0)
+    tb, vb = vec_builder(2048)  # wrong VLEN for a 512-bit engine
+    vb.vsetvl(64, ew=4)
+    vb.vle(0xC00000)
+    with pytest.raises(ConfigError):
+        run(ms, big, e, tb.finish())
+
+
+def test_simd_lockstep_stalls_appear_when_lanes_desync():
+    # strided loads hit a single bank: lanes receive data at different times,
+    # desynchronizing the lockstep broadcast
+    ms, big, e = build_vlittle(switch_penalty=0)
+    tb, vb = vec_builder(512)
+    for i in range(12):
+        vb.vsetvl(16, ew=4)
+        v = vb.vlse(0xD00000 + i * 0x4000, stride=256)  # one bank only
+        v2 = vb.vadd(v, v)
+        vb.vse(v2, 0xE00000 + i * 64)
+    run(ms, big, e, tb.finish())
+    bd = e.breakdown()
+    assert bd.counts[Stall.SIMD] > 0

@@ -1,0 +1,47 @@
+"""Tests for graph-topology options and the uniform generator."""
+
+import pytest
+
+from repro.workloads import get_workload
+from repro.workloads.graphs import bfs_levels, make_rmat, make_uniform
+
+
+def test_uniform_graph_properties():
+    g = make_uniform(256, avg_degree=8, seed=3)
+    assert g.n == 256
+    for v in range(g.n):
+        for w in g.neighbors(v):
+            assert v in g.neighbors(w)
+    assert all(g.degree(v) > 0 for v in range(g.n))
+
+
+def test_uniform_flatter_than_rmat():
+    r = make_rmat(256, avg_degree=8, seed=3)
+    u = make_uniform(256, avg_degree=8, seed=3)
+    assert max(r.degree(v) for v in range(r.n)) > \
+        2 * max(u.degree(v) for v in range(u.n))
+
+
+def test_uniform_rejects_non_pow2():
+    with pytest.raises(ValueError):
+        make_uniform(100)
+
+
+def test_ligra_app_accepts_graph_kind():
+    a = get_workload("bfs", "tiny", graph_kind="uniform")
+    b = get_workload("bfs", "tiny")  # rmat default
+    assert a.params["g"].m != b.params["g"].m or \
+        a.params["g"].edges != b.params["g"].edges
+
+
+def test_bfs_covers_uniform_graph():
+    g = make_uniform(128, seed=9)
+    levels = bfs_levels(g)
+    assert {v for lvl in levels for v in lvl} == set(range(g.n))
+
+
+def test_traces_generate_for_both_kinds():
+    for kind in ("rmat", "uniform"):
+        w = get_workload("pagerank", "tiny", graph_kind=kind)
+        assert len(w.scalar_trace()) > 100
+        assert w.task_program().total_tasks >= 1

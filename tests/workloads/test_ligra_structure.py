@@ -1,0 +1,102 @@
+"""Per-app structural tests for the Ligra generators."""
+
+import pytest
+
+from repro.isa.scalar import Op, OP_IS_BRANCH
+import repro.workloads as W
+
+
+def ops_of(trace):
+    from collections import Counter
+    return Counter(i.op for i in trace)
+
+
+def test_bfs_phases_are_bfs_levels():
+    w = W.get_workload("bfs", "tiny")
+    phases = w._compute_phases()
+    g = w.params["g"]
+    seen = set()
+    for lvl in phases:
+        # no vertex appears in two levels
+        assert not (set(lvl) & seen)
+        seen |= set(lvl)
+    assert 0 in phases[0]
+
+
+def test_bfs_claims_each_vertex_once():
+    w = W.get_workload("bfs", "tiny")
+    tr = w.scalar_trace()
+    amos = [i for i in tr if i.op == Op.AMOADD]
+    claimed = {i.addr for i in amos}
+    assert len(amos) == len(claimed)  # one claim per vertex
+    g = w.params["g"]
+    assert len(claimed) == g.n - 1  # everyone but the root
+
+
+def test_pagerank_touches_every_vertex_each_iteration():
+    w = W.get_workload("pagerank", "tiny")
+    phases = w._compute_phases()
+    g = w.params["g"]
+    for lvl in phases:
+        assert len(lvl) == g.n
+
+
+def test_cc_active_set_shrinks():
+    w = W.get_workload("cc", "tiny")
+    phases = w._compute_phases()
+    assert len(phases[0]) >= len(phases[-1])
+
+
+def test_kcore_peels_every_vertex_at_most_once():
+    w = W.get_workload("kcore", "tiny")
+    phases = w._compute_phases()
+    peeled = [v for lvl in phases for v in lvl]
+    assert len(peeled) == len(set(peeled))
+
+
+def test_mis_rounds_terminate():
+    w = W.get_workload("mis", "tiny")
+    phases = w._compute_phases()
+    assert 1 <= len(phases) <= 12
+
+
+def test_bc_has_forward_and_backward_kinds():
+    w = W.get_workload("bc", "tiny")
+    phases = w._compute_phases()
+    kinds = {w._phase_kind(i) for i in range(len(phases))}
+    assert kinds == {0, 1}
+
+
+def test_radii_uses_64bit_ops():
+    w = W.get_workload("radii", "tiny")
+    tr = w.scalar_trace()
+    ops = ops_of(tr)
+    assert ops[Op.LD] > 0 and ops[Op.SD] > 0
+    assert ops[Op.OR] > 0
+
+
+def test_bf_relaxations_store_distances():
+    w = W.get_workload("bf", "tiny")
+    tr = w.scalar_trace()
+    ops = ops_of(tr)
+    assert ops[Op.SLT] > 0
+    assert ops[Op.SW] > 0
+
+
+@pytest.mark.parametrize("name", W.TASK_PARALLEL)
+def test_edge_scans_fetch_csr_arrays(name):
+    w = W.get_workload(name, "tiny")
+    tr = w.scalar_trace()
+    off, edge = w.params["off"], w.params["edge"]
+    addrs = {i.addr for i in tr if i.addr is not None}
+    assert any(off <= a < off + 4 * (w.params["g"].n + 1) for a in addrs)
+    assert any(edge <= a < edge + 4 * w.params["g"].m for a in addrs)
+
+
+@pytest.mark.parametrize("name", W.TASK_PARALLEL)
+def test_branchy_irregular_code(name):
+    # the defining property the paper leans on: graph apps are branch-heavy
+    w = W.get_workload(name, "tiny")
+    tr = w.scalar_trace()
+    n_br = sum(1 for i in tr if OP_IS_BRANCH[i.op])
+    assert n_br / len(tr) > 0.10, name

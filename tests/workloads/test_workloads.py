@@ -1,0 +1,173 @@
+"""Tests for workload trace generators (Tables IV & V)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.isa.vector import VOP_IS_MEM
+import repro.workloads as W
+
+
+ALL_VECTORIZABLE = W.KERNELS + W.DATA_PARALLEL
+
+
+def test_registry_matches_paper_tables():
+    # Table IV: 3 kernels + 8 Ligra apps; Table V: 8 data-parallel apps
+    assert len(W.KERNELS) == 3
+    assert len(W.DATA_PARALLEL) == 8
+    assert len(W.TASK_PARALLEL) == 8
+    assert set(W.KERNELS) == {"vvadd", "mmult", "saxpy"}
+    assert "sw" in W.DATA_PARALLEL and "blackscholes" in W.DATA_PARALLEL
+    assert {"bfs", "bc", "pagerank", "cc"} <= set(W.TASK_PARALLEL)
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(WorkloadError):
+        W.get_workload("doom")
+    with pytest.raises(WorkloadError):
+        W.get_workload("vvadd", scale="huge")
+
+
+@pytest.mark.parametrize("name", ALL_VECTORIZABLE)
+def test_scalar_and_vector_traces_nonempty(name):
+    w = W.get_workload(name, "tiny")
+    st_ = w.scalar_trace()
+    vt = w.vector_trace(512)
+    assert len(st_) > 0
+    assert len(vt) > 0
+    ns, nv = vt.counts()
+    assert nv > 0, "vector trace must contain vector instructions"
+    _, nv_s = st_.counts()
+    assert nv_s == 0, "scalar trace must be purely scalar"
+
+
+@pytest.mark.parametrize("name", ALL_VECTORIZABLE)
+def test_vector_trace_much_shorter_than_scalar(name):
+    # the entire point of vectorization: fewer dynamic instructions
+    w = W.get_workload(name, "tiny")
+    assert len(w.vector_trace(512)) < len(w.scalar_trace()) / 2
+
+
+@pytest.mark.parametrize("name", ALL_VECTORIZABLE)
+def test_vlen_agnostic_element_coverage(name):
+    # RVV strip-mining covers the same elements for every VLEN
+    w128 = W.get_workload(name, "tiny").vector_trace(128)
+    w512 = W.get_workload(name, "tiny").vector_trace(512)
+    w2048 = W.get_workload(name, "tiny").vector_trace(2048)
+
+    def store_bytes(tr):
+        touched = set()
+        for i in tr:
+            if i.is_vector and VOP_IS_MEM[i.op] and i.op.name.startswith("VS"):
+                for a in i.element_addrs():
+                    touched.update(range(a, a + i.ew))
+        return touched
+
+    assert store_bytes(w128) == store_bytes(w512) == store_bytes(w2048)
+
+
+@pytest.mark.parametrize("name", ALL_VECTORIZABLE)
+def test_task_program_variants(name):
+    w = W.get_workload(name, "tiny")
+    tp = w.task_program(vector_vlen=128, n_chunks=4)
+    assert tp.total_tasks >= 1
+    for t in tp.all_tasks():
+        assert "scalar" in t.traces
+        assert "vector" in t.traces
+
+
+def test_task_chunks_cover_all_elements():
+    w = W.get_workload("vvadd", "tiny")
+    tp = w.task_program(n_chunks=4)
+    p = w.params
+    stores = set()
+    for t in tp.all_tasks():
+        for i in t.traces["scalar"]:
+            if i.addr is not None and i.op.name.startswith("S"):
+                stores.add(i.addr)
+    expected = {p["c"] + 4 * j for j in range(p["n"])}
+    assert stores == expected
+
+
+def test_sw_has_scalar_epilogue():
+    w = W.get_workload("sw", "tiny")
+    vt = w.vector_trace(512)
+    ns, nv = vt.counts()
+    # Table V: ~69% vectorized -> a substantial scalar tail must exist
+    assert ns > 0.15 * len(vt)
+
+
+def test_deterministic_generation():
+    a = W.get_workload("kmeans", "tiny", seed=3).vector_trace(512)
+    b = W.get_workload("kmeans", "tiny", seed=3).vector_trace(512)
+    assert len(a) == len(b)
+    assert all(x.pc == y.pc and x.op == y.op for x, y in zip(a, b))
+
+
+@pytest.mark.parametrize("name", W.TASK_PARALLEL)
+def test_ligra_apps_produce_phases(name):
+    w = W.get_workload(name, "tiny")
+    tp = w.task_program()
+    assert len(tp.phases) >= 1
+    assert tp.total_tasks >= 1
+    st_ = w.scalar_trace()
+    assert len(st_) > 100
+
+
+@pytest.mark.parametrize("name", W.TASK_PARALLEL)
+def test_ligra_scalar_and_task_work_equivalent(name):
+    # the same per-vertex work regardless of decomposition (within the
+    # serial/runtime bookkeeping differences)
+    w1 = W.get_workload(name, "tiny")
+    scalar_len = len(w1.scalar_trace())
+    w2 = W.get_workload(name, "tiny")
+    tp = w2.task_program()
+    task_len = sum(len(t.traces["scalar"]) for t in tp.all_tasks())
+    serial_len = sum(len(p.serial) for p in tp.phases if p.serial)
+    assert abs((task_len + serial_len) - scalar_len) <= 0.05 * scalar_len
+
+
+def test_graph_generator_properties():
+    g = W.make_rmat(256, avg_degree=8, seed=1)
+    assert g.n == 256
+    assert g.m > 0
+    # symmetric
+    for v in range(g.n):
+        for w_ in g.neighbors(v):
+            assert v in g.neighbors(w_)
+    # no isolated vertices
+    assert all(g.degree(v) > 0 for v in range(g.n))
+    # power-law-ish: max degree well above average
+    degs = [g.degree(v) for v in range(g.n)]
+    assert max(degs) > 3 * (sum(degs) / len(degs))
+
+
+def test_graph_generator_rejects_non_pow2():
+    with pytest.raises(ValueError):
+        W.make_rmat(100)
+
+
+def test_bfs_levels_partition_reachable_vertices():
+    g = W.make_rmat(128, seed=5)
+    levels = W.bfs_levels(g)
+    seen = [v for lvl in levels for v in lvl]
+    assert len(seen) == len(set(seen))
+    assert set(seen) == set(range(g.n))  # fixup edges connect everything
+
+
+@given(st.integers(min_value=1, max_value=200), st.integers(min_value=1, max_value=32))
+@settings(max_examples=50)
+def test_chunk_ranges_property(n, k):
+    chunks = W.chunk_ranges(n, k)
+    assert chunks[0][0] == 0
+    assert chunks[-1][1] == n
+    for (a, b), (c, d) in zip(chunks, chunks[1:]):
+        assert b == c
+    assert all(b > a for a, b in chunks)
+
+
+def test_scales_increase_work():
+    for name in ("vvadd", "backprop", "bfs"):
+        tiny = len(W.get_workload(name, "tiny").scalar_trace())
+        small = len(W.get_workload(name, "small").scalar_trace())
+        assert small > tiny
