@@ -1,0 +1,95 @@
+"""Benchmark: serial vs parallel Fig. 4 sweep, cold and warm cache.
+
+Not collected by pytest (no ``test_`` prefix) — run directly:
+
+    PYTHONPATH=src python benchmarks/bench_parallel_runner.py --jobs 4
+    PYTHONPATH=src python benchmarks/bench_parallel_runner.py --scale small
+
+Measures three configurations of the same sweep on a private cache dir:
+
+* cold cache, serial ``run_pair`` loop (the pre-parallel harness),
+* cold cache, ``ParallelRunner`` with ``--jobs`` workers,
+* warm cache (pure lookups — the resumable-reproduction path).
+
+On a >= 4-core machine the parallel cold run should beat serial by roughly
+min(jobs, cores)/1 minus pool overhead, and the warm run should be ~free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import tempfile
+import time
+
+from repro.experiments.cache import ResultCache, set_cache
+from repro.experiments.figures import fig4_requests
+from repro.experiments.parallel import ParallelRunner, format_summary
+from repro.experiments.runner import run_pair
+from repro.workloads import KERNELS, TASK_PARALLEL
+
+SYSTEMS = ["1L", "1b", "1bIV", "1b-4L", "1bIV-4L", "1bDV", "1b-4VL"]
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--scale", default="tiny", choices=("tiny", "small"))
+    ap.add_argument("--jobs", type=int, default=4)
+    ap.add_argument("--full", action="store_true",
+                    help="all fig4 workloads (default: kernels + 2 Ligra apps)")
+    args = ap.parse_args(argv)
+
+    workloads = None if args.full else KERNELS + TASK_PARALLEL[:2]
+    requests = fig4_requests(args.scale, SYSTEMS, workloads)
+    print(f"fig4 sweep: {len(requests)} (system, workload) runs "
+          f"at scale={args.scale}\n")
+
+    tmp = tempfile.mkdtemp(prefix="bvl-bench-cache-")
+    try:
+        # ---- cold, serial --------------------------------------------------
+        set_cache(ResultCache(cache_dir=tmp))
+        t0 = time.perf_counter()
+        for r in requests:
+            run_pair(r.system, r.workload, r.scale, **r.overrides)
+        t_serial = time.perf_counter() - t0
+        print(f"cold serial          {t_serial:8.2f}s")
+
+        # ---- cold, parallel ------------------------------------------------
+        cache = set_cache(ResultCache(cache_dir=tmp))
+        cache.clear()
+        runner = ParallelRunner(jobs=args.jobs)
+        t0 = time.perf_counter()
+        runner.run(requests)
+        t_par = time.perf_counter() - t0
+        print(f"cold --jobs {args.jobs:<2d}       {t_par:8.2f}s   "
+              f"({t_serial / t_par:.2f}x vs serial)")
+        print(f"  {format_summary(runner.summary())}")
+
+        # ---- warm ----------------------------------------------------------
+        set_cache(ResultCache(cache_dir=tmp))  # fresh memory, warm disk
+        t0 = time.perf_counter()
+        runner = ParallelRunner(jobs=args.jobs)
+        runner.run(requests)
+        t_warm = time.perf_counter() - t0
+        print(f"warm cache           {t_warm:8.2f}s   "
+              f"({t_serial / max(t_warm, 1e-9):.0f}x vs cold serial)")
+        assert runner.summary()["simulated"] == 0, "warm run re-simulated!"
+
+        if t_par < t_serial:
+            print("\nPASS: parallel cold run beat the serial runner")
+            return 0
+        import os
+        cores = os.cpu_count() or 1
+        if cores < 2:
+            print(f"\nSKIP: only {cores} core available; the parallel win "
+                  f"needs >= 2 (warm-cache result still checked above)")
+            return 0
+        print(f"\nWARN: parallel run was not faster on {cores} cores "
+              f"(machine busy?)")
+        return 1
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,16 @@ are deterministic, so a single pedantic round is measured.
 
 import pytest
 
+from repro.experiments.cache import ResultCache, set_cache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Benchmarks time cold simulations: keep them off the persistent
+    on-disk cache (a warm ``results/cache/`` would time JSON reads)."""
+    yield set_cache(ResultCache(
+        cache_dir=str(tmp_path_factory.mktemp("bench-cache"))))
+
 
 @pytest.fixture
 def once(benchmark):

@@ -1,6 +1,27 @@
-"""Experiment harness: runners, per-figure/table generators, CLI."""
+"""Experiment harness: runners, caching, per-figure/table generators, CLI."""
 
+from repro.experiments.cache import ResultCache, configure, get_cache, set_cache
+from repro.experiments.parallel import (
+    ParallelRunner,
+    RunRequest,
+    format_summary,
+    warm_cache,
+)
 from repro.experiments.runner import clear_cache, run_pair, speedups_over_1l
 from repro.experiments import figures, tables
 
-__all__ = ["clear_cache", "run_pair", "speedups_over_1l", "figures", "tables"]
+__all__ = [
+    "ResultCache",
+    "configure",
+    "get_cache",
+    "set_cache",
+    "ParallelRunner",
+    "RunRequest",
+    "format_summary",
+    "warm_cache",
+    "clear_cache",
+    "run_pair",
+    "speedups_over_1l",
+    "figures",
+    "tables",
+]

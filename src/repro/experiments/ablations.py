@@ -19,15 +19,19 @@ work:
 
 from __future__ import annotations
 
+from repro.experiments.parallel import RunRequest, warm_cache
 from repro.experiments.runner import run_pair
 from repro.soc import preset
 
 
-def cluster_scaling(workload="saxpy", scale="small", sizes=(2, 4, 8)):
+def cluster_scaling(workload="saxpy", scale="small", sizes=(2, 4, 8), jobs=None):
     """Speedup over 1L of VLITTLE engines with different lane counts.
 
     The trace is regenerated per size: more lanes -> longer hardware vector
     (VLA code adapts automatically, as on real RVV hardware)."""
+    warm_cache([RunRequest("1L", workload, scale)]
+               + [RunRequest("1b-4VL", workload, scale, dict(n_little=n))
+                  for n in sizes], jobs=jobs)
     base = run_pair("1L", workload, scale).stats["time_ps"]
     out = {}
     for n in sizes:
@@ -41,57 +45,65 @@ def cluster_scaling(workload="saxpy", scale="small", sizes=(2, 4, 8)):
 
 
 def switch_penalty(workload="saxpy", scales=("tiny", "small"),
-                   penalties=(0, 500, 2000, 8000)):
+                   penalties=(0, 500, 2000, 8000), jobs=None):
     """Relative slowdown of 1b-4VL vs zero-cost switching, per region size."""
+    warm_cache([RunRequest("1b-4VL", workload, s, dict(switch_penalty=p))
+                for s in scales for p in penalties], jobs=jobs)
     out = {}
     for scale in scales:
         base = None
         row = {}
         for p in penalties:
-            cfg = preset("1b-4VL", switch_penalty=p)
-            t = run_pair("1b-4VL", workload, scale, cfg=cfg).stats["time_ps"]
+            t = run_pair("1b-4VL", workload, scale,
+                         switch_penalty=p).stats["time_ps"]
             base = base or t
             row[p] = t / base
         out[scale] = row
     return out
 
 
-def vxu_topology(workload="kmeans", scale="small", latencies=(0, 2, 8)):
+def vxu_topology(workload="kmeans", scale="small", latencies=(0, 2, 8), jobs=None):
     """Ring (latency 2) vs crossbar (0) vs a slow serial network (8)."""
+    warm_cache([RunRequest("1b-4VL", workload, scale, dict(vxu_extra_latency=lat))
+                for lat in latencies], jobs=jobs)
     out = {}
     for lat in latencies:
-        cfg = preset("1b-4VL", vxu_extra_latency=lat)
-        out[lat] = run_pair("1b-4VL", workload, scale, cfg=cfg).stats["time_ps"]
+        out[lat] = run_pair("1b-4VL", workload, scale,
+                            vxu_extra_latency=lat).stats["time_ps"]
     base = out[min(latencies)]
     return {lat: t / base for lat, t in out.items()}
 
 
-def coalesce_width(workload="particlefilter", scale="small", widths=(1, 2, 4, 8)):
+def coalesce_width(workload="particlefilter", scale="small", widths=(1, 2, 4, 8),
+                   jobs=None):
     """VMIU indexed-coalescing window sweep (relative performance)."""
+    warm_cache([RunRequest("1b-4VL", workload, scale, dict(coalesce_width=wdt))
+                for wdt in widths], jobs=jobs)
     times = {}
     for wdt in widths:
-        cfg = preset("1b-4VL", coalesce_width=wdt)
-        times[wdt] = run_pair("1b-4VL", workload, scale, cfg=cfg).stats["time_ps"]
+        times[wdt] = run_pair("1b-4VL", workload, scale,
+                              coalesce_width=wdt).stats["time_ps"]
     best = min(times.values())
     return {wdt: best / t for wdt, t in times.items()}
 
 
-def dram_bandwidth(workload="vvadd", scale="small", intervals=(1, 2, 8, 16)):
+def dram_bandwidth(workload="vvadd", scale="small", intervals=(1, 2, 8, 16),
+                   jobs=None):
     """1b-4VL vs 1bIV-4L advantage as DRAM bandwidth shrinks
     (line service interval in memory cycles: larger = less bandwidth)."""
+    warm_cache([RunRequest(s, workload, scale,
+                           dict(mem=dict(dram_line_interval=iv)))
+                for s in ("1b-4VL", "1bIV-4L") for iv in intervals], jobs=jobs)
     out = {}
     for iv in intervals:
-        cfg_vl = preset("1b-4VL")
-        cfg_vl.mem.dram_line_interval = iv
-        cfg_iv = preset("1bIV-4L")
-        cfg_iv.mem.dram_line_interval = iv
-        t_vl = run_pair("1b-4VL", workload, scale, cfg=cfg_vl).stats["time_ps"]
-        t_iv = run_pair("1bIV-4L", workload, scale, cfg=cfg_iv).stats["time_ps"]
+        mem = dict(dram_line_interval=iv)
+        t_vl = run_pair("1b-4VL", workload, scale, mem=mem).stats["time_ps"]
+        t_iv = run_pair("1bIV-4L", workload, scale, mem=mem).stats["time_ps"]
         out[iv] = t_iv / t_vl
     return out
 
 
-def graph_topology(apps=("bfs", "pagerank", "cc"), scale="small"):
+def graph_topology(apps=("bfs", "pagerank", "cc"), scale="small", jobs=None):
     """Multicore scaling (1b-4L over 1b) on power-law vs uniform graphs.
 
     Skewed rMAT degree distributions create load imbalance that random work
@@ -113,7 +125,7 @@ def graph_topology(apps=("bfs", "pagerank", "cc"), scale="small"):
 
 
 def region_granularity(scale="small", n_regions=(1, 2, 4, 8), elems=2048,
-                       switch_penalty=500):
+                       switch_penalty=500, jobs=None):
     """Cost of fine-grained mode switching (§III-B: switching "typically
     happens at a coarse-grained level ... to amortize its overhead").
 

@@ -1,0 +1,188 @@
+"""Persistent result cache for the experiment harness.
+
+Every ``run_pair`` outcome is memoized twice:
+
+* **in memory** — a per-process dict, so repeated lookups within one harness
+  invocation return the *same* :class:`RunResult` object, and
+* **on disk** — one JSON file per result under ``results/cache/`` (override
+  with ``$BIGVLITTLE_CACHE_DIR``), so a re-run of the CLI, the figure
+  generators, or a killed full-paper reproduction resumes instead of
+  re-simulating.
+
+The key is a SHA-256 over a canonical payload containing the **complete**
+serialized :class:`~repro.soc.SoCConfig` (every field, ``mem`` included),
+the workload identity ``(name, scale)``, and the simulator version.  Hashing
+the whole config replaces the old hand-picked key tuple, which silently
+aliased configs that differed in any field it forgot to list.
+
+A corrupted or truncated cache file is treated as a miss: the harness warns
+and re-simulates rather than crashing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+
+import repro
+from repro.stats import RunResult
+
+#: results produced by a different simulator version never collide with ours
+SIM_VERSION = repro.__version__
+
+_ENV_DIR = "BIGVLITTLE_CACHE_DIR"
+_DEFAULT_DIR = os.path.join("results", "cache")
+
+
+def default_cache_dir():
+    return os.environ.get(_ENV_DIR, _DEFAULT_DIR)
+
+
+class ResultCache:
+    """Two-level (memory + disk) cache keyed by full-config content hash."""
+
+    def __init__(self, cache_dir=None, disk=True, enabled=True):
+        self.cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
+        self.disk = disk
+        self.enabled = enabled
+        self._mem = {}
+        self.hits = 0          # served from memory or disk
+        self.disk_hits = 0     # subset of hits that came off disk
+        self.misses = 0
+
+    # ------------------------------------------------------------------ keys
+
+    def key_for(self, cfg, workload_name, scale):
+        """Content-hash key for one (config, workload, scale) run."""
+        payload = {
+            "sim_version": SIM_VERSION,
+            "workload": workload_name,
+            "scale": scale,
+            "config": cfg.to_dict(),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _path(self, key):
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    # ---------------------------------------------------------------- lookup
+
+    def get(self, key):
+        """Return the cached :class:`RunResult` for ``key``, or ``None``."""
+        if not self.enabled:
+            return None
+        if key in self._mem:
+            self.hits += 1
+            return self._mem[key]
+        if self.disk:
+            path = self._path(key)
+            if os.path.exists(path):
+                try:
+                    with open(path) as f:
+                        record = json.load(f)
+                    result = RunResult.from_dict(record["result"])
+                except (OSError, ValueError, KeyError, TypeError) as e:
+                    warnings.warn(
+                        f"corrupted result-cache file {path} ({e!r}); "
+                        f"re-simulating", RuntimeWarning, stacklevel=2)
+                else:
+                    result.timing["from_cache"] = True
+                    self._mem[key] = result
+                    self.hits += 1
+                    self.disk_hits += 1
+                    return result
+        self.misses += 1
+        return None
+
+    def put(self, key, result):
+        if not self.enabled:
+            return
+        self._mem[key] = result
+        if self.disk:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            record = {"sim_version": SIM_VERSION, "result": result.to_dict()}
+            # atomic write: parallel workers may race on the same key
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as f:
+                    json.dump(record, f)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+
+    # ------------------------------------------------------------- lifecycle
+
+    def clear(self):
+        """Empty both levels: the process dict and the on-disk files."""
+        self._mem.clear()
+        if os.path.isdir(self.cache_dir):
+            for fn in os.listdir(self.cache_dir):
+                if fn.endswith(".json") or fn.endswith(".tmp"):
+                    try:
+                        os.unlink(os.path.join(self.cache_dir, fn))
+                    except OSError:
+                        pass
+
+    def stats(self):
+        disk_entries = disk_bytes = 0
+        if self.disk and os.path.isdir(self.cache_dir):
+            for fn in os.listdir(self.cache_dir):
+                if fn.endswith(".json"):
+                    disk_entries += 1
+                    try:
+                        disk_bytes += os.path.getsize(
+                            os.path.join(self.cache_dir, fn))
+                    except OSError:
+                        pass
+        return {
+            "dir": self.cache_dir,
+            "enabled": self.enabled,
+            "disk": self.disk,
+            "memory_entries": len(self._mem),
+            "disk_entries": disk_entries,
+            "disk_bytes": disk_bytes,
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+        }
+
+
+# --------------------------------------------------------------- global cache
+
+_cache = None
+
+
+def get_cache():
+    """The process-wide cache used by ``run_pair`` when none is passed."""
+    global _cache
+    if _cache is None:
+        _cache = ResultCache()
+    return _cache
+
+
+def set_cache(cache):
+    """Replace the global cache (tests point it at a tmp directory)."""
+    global _cache
+    _cache = cache
+    return _cache
+
+
+def configure(cache_dir=None, disk=None, enabled=None):
+    """Tweak the global cache in place; returns it."""
+    c = get_cache()
+    if cache_dir is not None:
+        c.cache_dir = cache_dir
+        c._mem.clear()
+    if disk is not None:
+        c.disk = disk
+    if enabled is not None:
+        c.enabled = enabled
+    return c

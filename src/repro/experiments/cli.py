@@ -1,6 +1,14 @@
-"""Command-line entry point: ``bigvlittle <experiment> [--scale S]``.
+"""Command-line entry point: ``bigvlittle <experiment> [--scale S] [--jobs N]``.
 
 Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 table2..table7 all
+
+``--jobs N`` fans each experiment's simulation sweep out over N worker
+processes; results land in the persistent cache under ``results/cache/``
+(override with ``$BIGVLITTLE_CACHE_DIR``), so an interrupted or repeated
+invocation resumes instead of re-simulating.  ``bigvlittle all --jobs N``
+is therefore one resumable, parallel full-paper reproduction.
+
+Cache maintenance: ``bigvlittle cache stats`` / ``bigvlittle cache clear``.
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ import sys
 import time
 
 from repro.experiments import ablations, figures, tables
+from repro.experiments.cache import configure, get_cache
 
 _FIGS = {
     "fig4": (figures.fig4, figures.print_fig4),
@@ -44,30 +53,47 @@ _TABLES = {
 
 
 def main(argv=None):
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="bigvlittle",
         description="Regenerate big.VLITTLE (MICRO 2022) evaluation results",
+        epilog="Result-cache maintenance: bigvlittle cache {stats,clear}",
     )
     parser.add_argument("experiment",
                     choices=sorted(_FIGS) + sorted(_TABLES) + sorted(_ABLATIONS) + ["all"])
     parser.add_argument("--scale", default="small", choices=("tiny", "small", "full"))
+    parser.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                        help="simulate each experiment's sweep on N worker "
+                             "processes (default: serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the result cache entirely (no reads, "
+                             "no writes)")
     parser.add_argument("--json", action="store_true", help="dump raw data as JSON")
     parser.add_argument("--svg", metavar="DIR", default=None,
                         help="also render the figure(s) as SVG into DIR")
     args = parser.parse_args(argv)
 
+    if args.no_cache:
+        configure(enabled=False)
+    cache = get_cache()
+
     names = sorted(_FIGS) + sorted(_TABLES) if args.experiment == "all" else [args.experiment]
+    t_all = time.time()
     for name in names:
         t0 = time.time()
+        h0, m0 = cache.hits, cache.misses
         print(f"== {name} (scale={args.scale}) ==")
         if name in _FIGS:
             fn, pr = _FIGS[name]
-            data = fn(scale=args.scale)
+            data = fn(scale=args.scale, jobs=args.jobs)
         elif name in _ABLATIONS:
-            data = _ABLATIONS[name]()
+            data = _ABLATIONS[name](jobs=args.jobs)
             pr = None
         else:
-            data = _TABLES[name]()
+            data = _TABLES[name](scale=args.scale, jobs=args.jobs)
             pr = None
         if args.svg and name in _FIGS:
             from repro.experiments.render import render
@@ -80,7 +106,34 @@ def main(argv=None):
             pr(data)
         else:
             print(json.dumps(_jsonable(data), indent=2))
-        print(f"-- {name} done in {time.time() - t0:.1f}s\n")
+        note = ""
+        if cache.enabled:
+            note = (f" (cache: {cache.hits - h0} hits, "
+                    f"{cache.misses - m0} misses)")
+        print(f"-- {name} done in {time.time() - t0:.1f}s{note}\n")
+    if len(names) > 1:
+        st = cache.stats()
+        print(f"== all done in {time.time() - t_all:.1f}s; cache now holds "
+              f"{st['disk_entries']} results "
+              f"({st['disk_bytes'] / 1024:.0f} KiB) in {st['dir']} ==")
+    return 0
+
+
+def _cache_main(argv):
+    ap = argparse.ArgumentParser(
+        prog="bigvlittle cache",
+        description="Inspect or empty the persistent result cache")
+    ap.add_argument("action", choices=("stats", "clear"))
+    args = ap.parse_args(argv)
+    cache = get_cache()
+    if args.action == "clear":
+        st = cache.stats()
+        cache.clear()
+        print(f"cleared {st['disk_entries']} cached results "
+              f"({st['disk_bytes'] / 1024:.0f} KiB) from {st['dir']}")
+    else:
+        for k, v in cache.stats().items():
+            print(f"{k:16s} {v}")
     return 0
 
 

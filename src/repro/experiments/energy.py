@@ -10,6 +10,7 @@ view that rewards finishing fast.
 
 from __future__ import annotations
 
+from repro.experiments.parallel import RunRequest, warm_cache
 from repro.experiments.runner import run_pair
 from repro.power import energy_j, system_power_w
 from repro.utils import geomean
@@ -17,10 +18,13 @@ from repro.workloads import DATA_PARALLEL, KERNELS
 
 
 def energy_table(scale="small", workloads=None,
-                 systems=("1bIV-4L", "1bDV", "1b-4VL"), big="b1", little="l1"):
+                 systems=("1bIV-4L", "1bDV", "1b-4VL"), big="b1", little="l1",
+                 jobs=None):
     """Per-workload energy (J) and EDP (J*s) at a fixed DVFS point."""
     if workloads is None:
         workloads = KERNELS + DATA_PARALLEL
+    warm_cache([RunRequest(s, w, scale) for w in workloads for s in systems],
+               jobs=jobs)
     out = {}
     for w in workloads:
         row = {}

@@ -3,6 +3,12 @@
 Each ``figN`` function returns plain data structures (dicts keyed by
 workload/system) that the CLI and the benchmark harness print; shapes match
 the corresponding paper figure so paper-vs-measured comparison is direct.
+
+Every generator accepts ``jobs=N``: with ``N > 1`` it first enumerates its
+(system, workload, knobs) sweep and prefetches the misses through
+:class:`~repro.experiments.parallel.ParallelRunner`, then reads everything
+back from the (now warm) result cache — so the serial aggregation below
+stays byte-identical while the simulations run ``N``-wide.
 """
 
 from __future__ import annotations
@@ -14,7 +20,8 @@ from repro.power import (
     pareto_frontier,
     system_power_w,
 )
-from repro.soc import SYSTEM_NAMES, preset
+from repro.soc import SYSTEM_NAMES
+from repro.experiments.parallel import RunRequest, warm_cache
 from repro.experiments.runner import run_pair
 from repro.utils import geomean
 from repro.workloads import DATA_PARALLEL, KERNELS, TASK_PARALLEL
@@ -33,10 +40,11 @@ FIG8_DEPTHS = (4, 8, 16, 32, 64)
 VECTOR_SYSTEMS = ("1bIV-4L", "1bDV", "1b-4VL")
 
 
-def fig4(scale="small", systems=SYSTEM_NAMES, workloads=None):
+def fig4(scale="small", systems=SYSTEM_NAMES, workloads=None, jobs=None):
     """Speedup over 1L for every system and workload (plus geomeans)."""
     if workloads is None:
         workloads = TASK_PARALLEL + KERNELS + DATA_PARALLEL
+    warm_cache(fig4_requests(scale, systems, workloads), jobs=jobs)
     out = {}
     for w in workloads:
         base = run_pair("1L", w, scale).stats["time_ps"]
@@ -52,7 +60,18 @@ def fig4(scale="small", systems=SYSTEM_NAMES, workloads=None):
     return {"speedups": out, "summary": summary}
 
 
-def _normalized_requests(stat_key, scale, workloads):
+def fig4_requests(scale="small", systems=SYSTEM_NAMES, workloads=None):
+    """The full (system, workload) sweep behind :func:`fig4`."""
+    if workloads is None:
+        workloads = TASK_PARALLEL + KERNELS + DATA_PARALLEL
+    sys_all = list(dict.fromkeys(["1L", *systems]))
+    return [RunRequest(s, w, scale) for w in workloads for s in sys_all]
+
+
+def _normalized_requests(stat_key, scale, workloads, jobs=None):
+    warm_cache([RunRequest(s, w, scale)
+                for w in workloads for s in ("1bDV", *VECTOR_SYSTEMS)],
+               jobs=jobs)
     out = {}
     for w in workloads:
         base = run_pair("1bDV", w, scale).stats[stat_key]
@@ -63,31 +82,32 @@ def _normalized_requests(stat_key, scale, workloads):
     return out
 
 
-def fig5(scale="small", workloads=None):
+def fig5(scale="small", workloads=None, jobs=None):
     """Instruction-fetch requests normalized to 1bDV (vectorizable apps)."""
     if workloads is None:
         workloads = KERNELS + DATA_PARALLEL
-    return _normalized_requests("fetch_requests", scale, workloads)
+    return _normalized_requests("fetch_requests", scale, workloads, jobs=jobs)
 
 
-def fig6(scale="small", workloads=None):
+def fig6(scale="small", workloads=None, jobs=None):
     """Data requests to memory normalized to 1bDV."""
     if workloads is None:
         workloads = KERNELS + DATA_PARALLEL
-    return _normalized_requests("data_requests", scale, workloads)
+    return _normalized_requests("data_requests", scale, workloads, jobs=jobs)
 
 
-def fig7(scale="small", workloads=None):
+def fig7(scale="small", workloads=None, jobs=None):
     """Per-lane execution-time breakdown of 1b-4VL under the three
     compute-pipeline configurations (1c, 1c+sw, 2c+sw)."""
     if workloads is None:
         workloads = KERNELS + DATA_PARALLEL
+    warm_cache([RunRequest("1b-4VL", w, scale, dict(kw))
+                for w in workloads for kw in FIG7_CONFIGS.values()], jobs=jobs)
     out = {}
     for w in workloads:
         out[w] = {}
         for cname, kw in FIG7_CONFIGS.items():
-            cfg = preset("1b-4VL", **kw)
-            res = run_pair("1b-4VL", w, scale, cfg=cfg)
+            res = run_pair("1b-4VL", w, scale, **kw)
             bd = {
                 k.split(".")[-1]: v
                 for k, v in res.stats.items()
@@ -98,19 +118,31 @@ def fig7(scale="small", workloads=None):
     return out
 
 
-def fig8(scale="small", workloads=None, depths=FIG8_DEPTHS):
+def fig8(scale="small", workloads=None, depths=FIG8_DEPTHS, jobs=None):
     """1b-4VL performance vs VMU load/store data-queue depth, normalized to
     the deepest configuration."""
     if workloads is None:
         workloads = KERNELS + DATA_PARALLEL
+    warm_cache([RunRequest("1b-4VL", w, scale, dict(vmu_loadq=d, vmu_storeq=d))
+                for w in workloads for d in depths], jobs=jobs)
     out = {}
     for w in workloads:
         times = {}
         for d in depths:
-            cfg = preset("1b-4VL", vmu_loadq=d, vmu_storeq=d)
-            times[d] = run_pair("1b-4VL", w, scale, cfg=cfg).stats["time_ps"]
+            times[d] = run_pair("1b-4VL", w, scale,
+                                vmu_loadq=d, vmu_storeq=d).stats["time_ps"]
         best = times[max(depths)]
         out[w] = {d: best / t for d, t in times.items()}  # relative performance
+    return out
+
+
+def _dvfs_requests(system, workload, scale, big_levels, little_levels):
+    out = []
+    for b in big_levels:
+        for l in little_levels:
+            fb, fl = freqs(b, l)
+            out.append(RunRequest(system, workload, scale,
+                                  dict(freq_big=fb, freq_little=fl)))
     return out
 
 
@@ -119,16 +151,20 @@ def _dvfs_points(system, workload, scale, big_levels, little_levels):
     for b in big_levels:
         for l in little_levels:
             fb, fl = freqs(b, l)
-            cfg = preset(system).with_freqs(big=fb, little=fl)
-            r = run_pair(system, workload, scale, cfg=cfg)
+            r = run_pair(system, workload, scale, freq_big=fb, freq_little=fl)
             pts[(b, l)] = r.stats["time_ps"]
     return pts
 
 
-def fig9(scale="small", workloads=None, systems=("1bIV-4L", "1b-4VL")):
+def fig9(scale="small", workloads=None, systems=("1bIV-4L", "1b-4VL"), jobs=None):
     """Speedup over 1L@1GHz at every (big, little) DVFS combination."""
     if workloads is None:
         workloads = DATA_PARALLEL
+    reqs = [RunRequest("1L", w, scale) for w in workloads]
+    for w in workloads:
+        for s in systems:
+            reqs += _dvfs_requests(s, w, scale, BIG_LEVELS, LITTLE_LEVELS)
+    warm_cache(reqs, jobs=jobs)
     out = {}
     for w in workloads:
         base = run_pair("1L", w, scale).stats["time_ps"]
@@ -139,11 +175,14 @@ def fig9(scale="small", workloads=None, systems=("1bIV-4L", "1b-4VL")):
     return out
 
 
-def fig10(scale="small", workloads=None):
+def fig10(scale="small", workloads=None, jobs=None):
     """1b-4VL execution time vs estimated power across the DVFS grid,
     plus the per-workload Pareto-optimal points."""
     if workloads is None:
         workloads = DATA_PARALLEL
+    warm_cache([r for w in workloads
+                for r in _dvfs_requests("1b-4VL", w, scale,
+                                        BIG_LEVELS, LITTLE_LEVELS)], jobs=jobs)
     out = {}
     for w in workloads:
         pts = []
@@ -155,10 +194,16 @@ def fig10(scale="small", workloads=None):
 
 
 def fig11(scale="small", workloads=None,
-          systems=("1b-4L", "1bIV-4L", "1bDV", "1b-4VL")):
+          systems=("1b-4L", "1bIV-4L", "1bDV", "1b-4VL"), jobs=None):
     """All designs' time/power points and the overall Pareto frontier."""
     if workloads is None:
         workloads = DATA_PARALLEL
+    reqs = []
+    for w in workloads:
+        for s in systems:
+            little = LITTLE_LEVELS if s != "1bDV" else {"l1": LITTLE_LEVELS["l1"]}
+            reqs += _dvfs_requests(s, w, scale, BIG_LEVELS, little)
+    warm_cache(reqs, jobs=jobs)
     out = {}
     for w in workloads:
         sys_pts = {}

@@ -19,19 +19,22 @@ from repro.utils import geomean
 from repro.workloads import DATA_PARALLEL, KERNELS, TASK_PARALLEL
 
 
-def collect(scale="small"):
+def collect(scale="small", jobs=None):
+    """Regenerate every experiment; with ``jobs > 1`` each figure's sweep is
+    simulated in parallel, and the persistent result cache makes an
+    interrupted full run resumable."""
     from repro.experiments import figures, tables
 
     return {
-        "fig4": figures.fig4(scale=scale),
-        "fig5": figures.fig5(scale=scale),
-        "fig6": figures.fig6(scale=scale),
-        "fig7": figures.fig7(scale=scale),
-        "fig8": figures.fig8(scale=scale),
-        "fig9": figures.fig9(scale=scale),
-        "fig10": figures.fig10(scale=scale),
-        "fig11": figures.fig11(scale=scale),
-        "table6": tables.table6_data(),
+        "fig4": figures.fig4(scale=scale, jobs=jobs),
+        "fig5": figures.fig5(scale=scale, jobs=jobs),
+        "fig6": figures.fig6(scale=scale, jobs=jobs),
+        "fig7": figures.fig7(scale=scale, jobs=jobs),
+        "fig8": figures.fig8(scale=scale, jobs=jobs),
+        "fig9": figures.fig9(scale=scale, jobs=jobs),
+        "fig10": figures.fig10(scale=scale, jobs=jobs),
+        "fig11": figures.fig11(scale=scale, jobs=jobs),
+        "table6": tables.table6_data(scale=scale),
     }
 
 
@@ -58,6 +61,11 @@ def render(data, scale):
     a("every claim below is a *ratio*, which is what the reproduction checks.")
     a("")
     a("Regenerate: `python -m repro.experiments.report --scale small`")
+    a("")
+    a("Add `--jobs N` to simulate each sweep on N worker processes. Runs")
+    a("persist in the on-disk result cache (`results/cache/`), so a killed")
+    a("or repeated full-paper run resumes instead of re-simulating —")
+    a("`bigvlittle cache stats` / `bigvlittle cache clear` manage the cache.")
     a("")
 
     # ----------------------------------------------------------------- fig4
@@ -212,6 +220,9 @@ def main(argv=None):
     ap = argparse.ArgumentParser()
     ap.add_argument("--scale", default="small")
     ap.add_argument("--out", default="EXPERIMENTS.md")
+    ap.add_argument("--jobs", type=int, default=None,
+                    help="parallel simulation workers (resumable via the "
+                         "result cache)")
     ap.add_argument("--from-json", dest="from_json", default=None)
     args = ap.parse_args(argv)
     if args.from_json:
@@ -219,7 +230,7 @@ def main(argv=None):
             raw = json.load(f)
         data = _unjson(raw)
     else:
-        data = collect(args.scale)
+        data = collect(args.scale, jobs=args.jobs)
     md = render(data, args.scale)
     with open(args.out, "w") as f:
         f.write(md + "\n")

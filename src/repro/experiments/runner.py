@@ -12,13 +12,16 @@ The mapping (paper §IV):
   useless for irregular code); work-stealing task program on the multicore
   systems (``1b-4VL`` runs it in scalar mode, identically to ``1b-4L``).
 
-Results are memoized per (system, workload, scale, frequency, engine-knobs)
-so the figure generators can share runs.
+Results are memoized per full canonical config + workload identity through
+:mod:`repro.experiments.cache` (an in-memory dict backed by a persistent
+on-disk store), so the figure generators share runs within a process *and*
+across harness invocations.
 """
 
 from __future__ import annotations
 
 from repro.errors import ConfigError
+from repro.experiments.cache import get_cache
 from repro.soc import System, preset
 from repro.workloads import REGISTRY, get_workload
 
@@ -26,11 +29,9 @@ from repro.workloads import REGISTRY, get_workload
 #: little cores never hold a long critical path (Cilk-style grain sizing)
 DATA_PARALLEL_CHUNKS = 48
 
-_cache = {}
-
 
 def clear_cache():
-    _cache.clear()
+    get_cache().clear()
 
 
 def _program_for(cfg, workload):
@@ -54,23 +55,27 @@ def _program_for(cfg, workload):
 
 
 def run_pair(system_name, workload_name, scale="small", cfg=None, use_cache=True,
-             **cfg_overrides):
-    """Simulate one (system, workload) pair; returns a RunResult."""
+             cache=None, **cfg_overrides):
+    """Simulate one (system, workload) pair; returns a RunResult.
+
+    The cache key is a content hash of the *entire* serialized config (see
+    :meth:`SoCConfig.canonical_json`) plus the workload identity and the
+    simulator version — any ``cfg_overrides``-reachable field change, down
+    to individual ``cfg.mem`` parameters, produces a distinct key.
+    """
     if cfg is None:
         cfg = preset(system_name, **cfg_overrides)
-    key = (
-        cfg.name, workload_name, scale, cfg.freq_big, cfg.freq_little,
-        cfg.chimes, cfg.packed, cfg.vmu_loadq, cfg.vmu_storeq,
-        cfg.switch_penalty, cfg.vxu_extra_latency, cfg.coalesce_width,
-        cfg.n_little, cfg.mem.dram_line_interval, cfg.mem.l1_mshrs,
-    )
-    if use_cache and key in _cache:
-        return _cache[key]
+    cache = cache if cache is not None else get_cache()
+    key = cache.key_for(cfg, workload_name, scale)
+    if use_cache:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
     workload = get_workload(workload_name, scale)
     program = _program_for(cfg, workload)
     result = System(cfg).run(program)
     if use_cache:
-        _cache[key] = result
+        cache.put(key, result)
     return result
 
 

@@ -1,4 +1,10 @@
-"""Regenerate the paper's tables (II, III, IV, V, VI, VII)."""
+"""Regenerate the paper's tables (II, III, IV, V, VI, VII).
+
+Tables are derived from configuration and analytical models — no simulation
+runs — but every generator accepts the harness-uniform ``(scale, jobs)``
+keyword pair so the CLI and report driver can invoke figures, tables, and
+ablations through one code path.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +14,7 @@ from repro.soc import SYSTEM_NAMES, preset
 from repro.workloads import DATA_PARALLEL, KERNELS, REGISTRY, TASK_PARALLEL
 
 
-def table2():
+def table2(scale="small", jobs=None):
     """Simulated processor/memory parameters (inputs, from the preset)."""
     cfg = preset("1b-4VL")
     m = cfg.mem
@@ -23,7 +29,7 @@ def table2():
     }
 
 
-def table3():
+def table3(scale="small", jobs=None):
     """Evaluated systems and their vector configuration."""
     out = {}
     for name in SYSTEM_NAMES:
@@ -37,7 +43,7 @@ def table3():
     return out
 
 
-def table4():
+def table4(scale="small", jobs=None):
     """Task-parallel applications (Ligra) and the study kernels."""
     return {
         "ligra": TASK_PARALLEL,
@@ -45,7 +51,7 @@ def table4():
     }
 
 
-def table5():
+def table5(scale="small", jobs=None):
     """Data-parallel applications with their suites and VOp fraction."""
     return {
         n: {"suite": REGISTRY[n].suite, "vop": REGISTRY[n].vop_fraction}
@@ -53,7 +59,7 @@ def table5():
     }
 
 
-def table6_data():
+def table6_data(scale="small", jobs=None):
     """Area comparison: 4L vs 4VL for both little-core RTL models, plus the
     Ara-referenced 1bDV estimate."""
     out = {}
@@ -72,7 +78,7 @@ def table6_data():
     return out
 
 
-def table7():
+def table7(scale="small", jobs=None):
     """DVFS levels and average power (big column from the paper; little
     column reconstructed — see repro.power.dvfs)."""
     return {"big": dict(BIG_LEVELS), "little": dict(LITTLE_LEVELS)}

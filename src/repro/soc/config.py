@@ -15,7 +15,9 @@ The seven evaluated systems:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.errors import ConfigError
 
@@ -97,6 +99,35 @@ class SoCConfig:
             return self.chimes * self.n_little * pack * ew * 8
         return 0
 
+    # ------------------------------------------------------------ identity
+
+    def to_dict(self):
+        """Plain-dict form of the *complete* configuration (``mem`` nested)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d):
+        """Rebuild a config from :meth:`to_dict` output."""
+        d = dict(d)
+        mem = d.pop("mem", None)
+        if isinstance(mem, MemConfig):
+            d["mem"] = mem
+        elif mem is not None:
+            d["mem"] = MemConfig(**mem)
+        return cls(**d)
+
+    def canonical_json(self):
+        """Deterministic JSON of every field — the cache-key payload.
+
+        Keys are sorted and separators fixed so two equal configs always
+        serialize to the same bytes regardless of construction order.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def config_hash(self):
+        """Stable content hash of the full configuration."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
     def with_freqs(self, big=None, little=None):
         """A copy at different cluster frequencies (Figs. 9-11)."""
         return replace(
@@ -124,6 +155,9 @@ def preset(name, **overrides):
         raise ConfigError(f"unknown system preset {name!r}; choose from {sorted(base)}")
     kw = dict(base[name])
     kw.update(overrides)
+    # memory parameters may be given as a partial dict: preset("1b", mem={...})
+    if isinstance(kw.get("mem"), dict):
+        kw["mem"] = MemConfig(**kw["mem"])
     return SoCConfig(name=name, **kw)
 
 

@@ -1,0 +1,19 @@
+"""Shared test fixtures.
+
+The experiment harness memoizes runs into a persistent on-disk cache
+(``results/cache/`` by default).  Tests must never read results produced by
+an earlier run of *different* code, so the whole session is pointed at a
+fresh temporary cache directory; in-process memoization still works exactly
+as before.
+"""
+
+import pytest
+
+from repro.experiments.cache import ResultCache, set_cache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    cache = set_cache(ResultCache(
+        cache_dir=str(tmp_path_factory.mktemp("result-cache"))))
+    yield cache

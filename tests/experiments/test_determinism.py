@@ -1,0 +1,75 @@
+"""Determinism/regression suite for the experiment harness.
+
+The simulator must be a pure function of its configuration: the same
+(system, workload, scale, knobs) key must produce bit-identical ``stats``
+whether it is simulated serially, simulated again in a fresh ``System``,
+simulated in a worker process, or read back from the on-disk cache.
+"""
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import ParallelRunner, RunRequest
+from repro.experiments.runner import run_pair
+from repro.soc import preset
+
+PAIRS = [("1b", "vvadd"), ("1b-4VL", "saxpy"), ("1b-4L", "bfs")]
+
+
+def test_rerun_is_bit_identical(fresh_cache):
+    for system, workload in PAIRS:
+        a = run_pair(system, workload, "tiny", use_cache=False)
+        b = run_pair(system, workload, "tiny", use_cache=False)
+        assert a is not b
+        assert a.stats == b.stats, (system, workload)
+        assert a.cycles == b.cycles
+
+
+def test_cache_hit_matches_simulation(fresh_cache):
+    a = run_pair("1b-4VL", "vvadd", "tiny")
+    hit = run_pair("1b-4VL", "vvadd", "tiny")
+    assert hit is a  # memory level returns the very same object
+    fresh = run_pair("1b-4VL", "vvadd", "tiny", use_cache=False)
+    assert fresh.stats == a.stats
+
+
+def test_disk_roundtrip_is_lossless(fresh_cache):
+    a = run_pair("1bDV", "saxpy", "tiny")
+    # a second cache instance on the same directory models a fresh process
+    reloaded = ResultCache(cache_dir=fresh_cache.cache_dir)
+    key = reloaded.key_for(preset("1bDV"), "saxpy", "tiny")
+    b = reloaded.get(key)
+    assert b is not None and b is not a
+    assert b.timing["from_cache"] is True
+    assert b.stats == a.stats
+    assert b.cycles == a.cycles and b.name == a.name and b.system == a.system
+    # JSON must not coerce numeric types (int stays int, float stays float)
+    for k, v in a.stats.items():
+        assert type(b.stats[k]) is type(v), k
+
+
+def test_parallel_workers_match_serial(fresh_cache):
+    serial = [run_pair(s, w, "tiny", use_cache=False) for s, w in PAIRS]
+    fresh_cache.clear()
+    requests = [RunRequest(s, w, "tiny") for s, w in PAIRS]
+    par = ParallelRunner(jobs=2).run(requests)
+    for s_res, p_res in zip(serial, par):
+        assert p_res.stats == s_res.stats
+        assert p_res.cycles == s_res.cycles
+
+
+def test_serial_runner_path_matches_parallel_path(fresh_cache):
+    requests = [RunRequest(s, w, "tiny") for s, w in PAIRS]
+    a = ParallelRunner(jobs=1).run(requests)
+    fresh_cache.clear()
+    b = ParallelRunner(jobs=2).run(requests)
+    for x, y in zip(a, b):
+        assert x.stats == y.stats
+
+
+def test_stats_carry_no_host_measurements(fresh_cache):
+    """Wall-clock lives in ``timing``, never in ``stats`` — that is what
+    makes the bit-identical comparisons above possible."""
+    r = run_pair("1b", "vvadd", "tiny", use_cache=False)
+    assert not any("wall" in k for k in r.stats)
+    assert r.timing["wall_s"] > 0
+    assert r.stats["sim.ticks_big"] > 0
+    assert r.stats["sim.ticks_mem"] > 0

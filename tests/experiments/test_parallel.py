@@ -1,0 +1,105 @@
+"""Parallel-runner tests: warm-cache short-circuit, dedup, summaries."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.parallel import (
+    ParallelRunner,
+    RunRequest,
+    format_summary,
+    warm_cache,
+)
+
+WLS = ["vvadd", "saxpy"]
+SYSTEMS = ["1L", "1b", "1b-4VL"]
+
+
+def test_warm_cache_fig4_needs_zero_system_runs(fresh_cache, run_spy):
+    """Acceptance criterion: with a warm cache, regenerating Fig. 4 data
+    performs zero ``System.run`` calls."""
+    cold = figures.fig4(scale="tiny", systems=SYSTEMS, workloads=WLS)
+    assert run_spy["n"] == len(SYSTEMS) * len(WLS)
+    before = run_spy["n"]
+    warm = figures.fig4(scale="tiny", systems=SYSTEMS, workloads=WLS)
+    assert run_spy["n"] == before  # zero new simulations
+    assert warm == cold
+
+
+def test_warm_disk_cache_survives_process_boundary(fresh_cache, run_spy):
+    """Same criterion across a 'restart': only the memory level is dropped,
+    the disk level must still satisfy every lookup."""
+    cold = figures.fig4(scale="tiny", systems=SYSTEMS, workloads=WLS)
+    before = run_spy["n"]
+    fresh_cache._mem.clear()  # simulate a fresh process on the same disk
+    warm = figures.fig4(scale="tiny", systems=SYSTEMS, workloads=WLS)
+    assert run_spy["n"] == before
+    assert warm == cold
+
+
+def test_parallel_cold_then_warm(fresh_cache):
+    reqs = [RunRequest(s, w, "tiny") for s in SYSTEMS for w in WLS]
+    runner = ParallelRunner(jobs=2)
+    runner.run(reqs)
+    s1 = runner.summary()
+    assert s1["simulated"] == len(reqs) and s1["cache_hits"] == 0
+    runner2 = ParallelRunner(jobs=2)
+    runner2.run(reqs)
+    s2 = runner2.summary()
+    assert s2["simulated"] == 0 and s2["cache_hits"] == len(reqs)
+    assert "cache hits" in format_summary(s2)
+
+
+def test_duplicate_requests_simulate_once(fresh_cache):
+    reqs = [RunRequest("1b", "vvadd", "tiny")] * 3
+    runner = ParallelRunner(jobs=1)
+    results = runner.run(reqs)
+    assert runner.summary()["simulated"] == 1
+    assert results[0] is results[1] is results[2]
+
+
+def test_no_cache_runner_simulates_every_request(fresh_cache, run_spy):
+    reqs = [RunRequest("1b", "vvadd", "tiny")] * 2
+    runner = ParallelRunner(jobs=1, use_cache=False)
+    runner.run(reqs)
+    assert run_spy["n"] == 2
+    assert fresh_cache.stats()["disk_entries"] == 0
+
+
+def test_results_align_with_requests(fresh_cache):
+    reqs = [RunRequest("1b", "vvadd", "tiny"),
+            RunRequest("1b-4VL", "saxpy", "tiny",
+                       dict(vmu_loadq=8, vmu_storeq=8)),
+            RunRequest("1b", "vvadd", "tiny")]
+    results = ParallelRunner(jobs=2).run(reqs)
+    assert results[0].system == "1b" and results[0].name == "vvadd"
+    assert results[1].system == "1b-4VL"
+    assert results[0] is results[2]
+
+
+def test_overrides_reach_worker_processes(fresh_cache):
+    slow = RunRequest("1b-4VL", "saxpy", "tiny", dict(switch_penalty=8000))
+    fast = RunRequest("1b-4VL", "saxpy", "tiny", dict(switch_penalty=0))
+    r_slow, r_fast = ParallelRunner(jobs=2).run([slow, fast])
+    assert r_slow.stats["time_ps"] > r_fast.stats["time_ps"]
+
+
+def test_warm_cache_noop_when_serial(fresh_cache, run_spy):
+    assert warm_cache([RunRequest("1b", "vvadd", "tiny")], jobs=None) is None
+    assert warm_cache([RunRequest("1b", "vvadd", "tiny")], jobs=1) is None
+    assert run_spy["n"] == 0
+
+
+def test_disabled_cache_keeps_workers_cacheless(fresh_cache):
+    """CLI --no-cache must reach the worker processes too: nothing may be
+    written to disk even though workers build their own cache handles."""
+    fresh_cache.enabled = False
+    ParallelRunner(jobs=2).run([RunRequest("1b", "vvadd", "tiny")])
+    assert fresh_cache.stats()["disk_entries"] == 0
+    assert fresh_cache.stats()["memory_entries"] == 0
+
+
+def test_progress_lines_emitted(fresh_cache, capsys):
+    ParallelRunner(jobs=1).run([RunRequest("1b", "vvadd", "tiny")],
+                               progress=True)
+    err = capsys.readouterr().err
+    assert "[1/1] 1b/vvadd@tiny simulated" in err

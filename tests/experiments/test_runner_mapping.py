@@ -1,0 +1,103 @@
+"""Exhaustive matrix test of the runner's system-to-program mapping.
+
+Paper §IV maps every (system, workload-kind) combination to one of three
+program shapes: a scalar trace, a strip-mined vector trace, or a
+work-stealing task program (with or without per-task vector variants).
+``_program_for`` encodes that table; this test walks every cell.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.runner import DATA_PARALLEL_CHUNKS, _program_for
+from repro.soc import SYSTEM_NAMES, SoCConfig, preset
+from repro.trace import Trace, TaskProgram
+from repro.workloads import (
+    DATA_PARALLEL,
+    KERNELS,
+    TASK_PARALLEL,
+    get_workload,
+)
+
+#: one representative per kind keeps the matrix fast at tiny scale
+REPRESENTATIVE = {
+    "kernel": KERNELS[0],
+    "data-parallel": DATA_PARALLEL[0],
+    "task-parallel": TASK_PARALLEL[0],
+}
+
+#: paper §IV expectations for vectorizable work (kernels & data-parallel)
+VECTORIZABLE_SHAPE = {
+    "1L": "scalar",
+    "1b": "scalar",
+    "1bIV": "vector",
+    "1bDV": "vector",
+    "1b-4VL": "vector",
+    "1bIV-4L": "tasks+vector",
+    "1b-4L": "tasks",
+}
+
+#: paper §IV expectations for irregular (Ligra) work
+TASK_PARALLEL_SHAPE = {
+    "1L": "scalar",
+    "1b": "scalar",
+    "1bIV": "scalar",
+    "1bDV": "scalar",
+    "1b-4L": "tasks",
+    "1bIV-4L": "tasks",
+    "1b-4VL": "tasks",
+}
+
+
+def _shape_of(program):
+    if isinstance(program, TaskProgram):
+        tasks = list(program.all_tasks())
+        assert tasks, "task programs must carry tasks"
+        if all("vector" in t.traces for t in tasks):
+            return "tasks+vector"
+        assert all(set(t.traces) == {"scalar"} for t in tasks)
+        return "tasks"
+    assert isinstance(program, Trace)
+    nscalar, nvector = program.counts()
+    return "vector" if nvector else "scalar"
+
+
+@pytest.mark.parametrize("system", SYSTEM_NAMES)
+@pytest.mark.parametrize("kind", ["kernel", "data-parallel"])
+def test_vectorizable_mapping(system, kind):
+    w = get_workload(REPRESENTATIVE[kind], "tiny")
+    program = _program_for(preset(system), w)
+    assert _shape_of(program) == VECTORIZABLE_SHAPE[system], (system, kind)
+
+
+@pytest.mark.parametrize("system", SYSTEM_NAMES)
+def test_task_parallel_mapping(system):
+    w = get_workload(REPRESENTATIVE["task-parallel"], "tiny")
+    program = _program_for(preset(system), w)
+    assert _shape_of(program) == TASK_PARALLEL_SHAPE[system], system
+
+
+@pytest.mark.parametrize("kind", ["kernel", "data-parallel"])
+def test_unmapped_system_raises_config_error(kind):
+    w = get_workload(REPRESENTATIVE[kind], "tiny")
+    cfg = SoCConfig(name="8b-超", n_big=1, n_little=0)
+    with pytest.raises(ConfigError, match="no mapping"):
+        _program_for(cfg, w)
+
+
+def test_data_parallel_task_grain():
+    """The 1bIV-4L decomposition uses the documented Cilk-style grain."""
+    w = get_workload(REPRESENTATIVE["data-parallel"], "tiny")
+    program = _program_for(preset("1bIV-4L"), w)
+    assert program.total_tasks <= DATA_PARALLEL_CHUNKS
+    assert program.total_tasks >= 1
+
+
+def test_vector_trace_vlen_follows_system():
+    """1bIV strip-mines for 128-bit vectors, 1bDV for 2048-bit: the decoupled
+    engine's trace needs fewer, longer vector instructions."""
+    w_iv = get_workload(REPRESENTATIVE["kernel"], "tiny")
+    w_dv = get_workload(REPRESENTATIVE["kernel"], "tiny")
+    t_iv = _program_for(preset("1bIV"), w_iv)
+    t_dv = _program_for(preset("1bDV"), w_dv)
+    assert t_iv.counts()[1] > t_dv.counts()[1]
