@@ -1,0 +1,103 @@
+"""Benchmark + CI guard: the disabled observability path must stay free.
+
+Not collected by pytest (no ``test_`` prefix) — run directly:
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --record baseline.json
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --check \
+        benchmarks/obs_overhead_baseline.json
+
+Every hook site in the simulator is gated on a single ``obs is None``
+check, so a run *without* an Observation attached should cost within
+noise of the pre-instrumentation simulator. Absolute wall time is
+machine-dependent, so the guard checks a machine-relative quantity
+instead: the **off/on ratio** — how long an unobserved run takes relative
+to a fully observed run of the same (system, workload) pair, measured
+back-to-back in one process. If someone later does observability work on
+the disabled path (allocates events, formats strings, updates metrics),
+the off time creeps toward the on time and the ratio rises; ``--check``
+fails when it exceeds the recorded baseline by more than ``--tolerance``
+(default 5%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.experiments.runner import _program_for
+from repro.obs import Observation
+from repro.soc import System, preset
+from repro.workloads import get_workload
+
+SYSTEM = "1b-4VL"
+WORKLOAD = "saxpy"
+SCALE = "small"
+
+
+def _one_run(obs):
+    cfg = preset(SYSTEM)
+    program = _program_for(cfg, get_workload(WORKLOAD, SCALE))
+    system = System(cfg)
+    t0 = time.perf_counter()
+    system.run(program, obs=obs)
+    return time.perf_counter() - t0
+
+
+def measure(repeats):
+    """Best-of-``repeats`` wall time for obs-off and obs-on, interleaved
+    so frequency scaling and cache warmth hit both arms equally."""
+    _one_run(None)  # warm imports, traces, and branch predictors
+    _one_run(Observation())
+    off = on = float("inf")
+    for _ in range(repeats):
+        off = min(off, _one_run(None))
+        on = min(on, _one_run(Observation()))
+    return off, on
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repeats", type=int, default=5)
+    ap.add_argument("--record", metavar="PATH",
+                    help="write the measured off/on ratio as the new baseline")
+    ap.add_argument("--check", metavar="PATH",
+                    help="fail (exit 1) if off/on exceeds this baseline "
+                         "by more than --tolerance")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed relative ratio increase (default 0.05)")
+    args = ap.parse_args(argv)
+
+    off, on = measure(args.repeats)
+    ratio = off / on
+    print(f"{WORKLOAD}@{SCALE} on {SYSTEM}, best of {args.repeats}:")
+    print(f"  obs off : {off * 1000:8.1f} ms")
+    print(f"  obs on  : {on * 1000:8.1f} ms")
+    print(f"  off/on  : {ratio:.3f}  (observing costs {(on / off - 1) * 100:+.1f}%)")
+
+    if args.record:
+        payload = {"system": SYSTEM, "workload": WORKLOAD, "scale": SCALE,
+                   "off_on_ratio": round(ratio, 4), "repeats": args.repeats}
+        with open(args.record, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        print(f"recorded baseline to {args.record}")
+    if args.check:
+        with open(args.check) as f:
+            base = json.load(f)["off_on_ratio"]
+        limit = base * (1.0 + args.tolerance)
+        verdict = "OK" if ratio <= limit else "FAIL"
+        print(f"  guard   : ratio {ratio:.3f} vs limit {limit:.3f} "
+              f"(baseline {base:.3f} +{args.tolerance:.0%}) -> {verdict}")
+        if ratio > limit:
+            print("disabled-path overhead regression: the obs-off simulator "
+                  "slowed down relative to obs-on; check for hook work that "
+                  "is not gated behind `if self.obs is not None`.")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -134,6 +134,37 @@ class BigCore:
         self.vector_instrs = 0
         self.vector_dispatches = 0
 
+    # --------------------------------------------------------- observability
+
+    obs = None  # UnitObs handle; None keeps every hook a single cheap check
+
+    def attach_obs(self, obs):
+        self.obs = obs.unit(self.core_id, "big", process="cores")
+        self._obs_rob = obs.metrics.histogram(
+            f"{self.core_id}.rob_occupancy", (0, 8, 16, 32, 64, 96))
+
+    def _commit_stall_kind(self):
+        """Attribute a zero-commit cycle to what the ROB head is waiting on."""
+        if not self._rob:
+            return Stall.MISC  # empty ROB: front-end / idle
+        e = self._rob[0]
+        ins = e.ins
+        if e.completed:
+            # head done but held back: store-buffer full or engine drain
+            return Stall.STRUCT
+        if ins.is_vector:
+            if self.vector_mode == "decoupled":
+                # waiting either to hand off (engine busy / fence) or for the
+                # engine's scalar response
+                return Stall.XELEM if e.dispatched else Stall.STRUCT
+            if not e.issued:
+                return Stall.STRUCT
+            return Stall.RAW_MEM if VOP_IS_LOAD[ins.op] or VOP_IS_STORE[ins.op] \
+                else Stall.RAW_LLFU
+        if not e.issued:
+            return Stall.RAW_LLFU if e.deps else Stall.STRUCT
+        return Stall.RAW_MEM if OP_FU[ins.op] == FUClass.MEM else Stall.RAW_LLFU
+
     # --------------------------------------------------------------- helpers
 
     def set_source(self, source):
@@ -189,6 +220,8 @@ class BigCore:
         self._fetch(now)
         # 5. drain post-commit stores
         self._drain_store_buffer(now)
+        if self.obs is not None:
+            self._obs_rob.observe(len(self._rob))
 
     # ----------------------------------------------------------------- fetch
 
@@ -226,6 +259,8 @@ class BigCore:
                 correct = self.predictor.predict_and_update(ins.pc, taken)
                 if not correct:
                     self._fetch_blocked_on = self._rob[-1]
+                    if self.obs is not None:
+                        self.obs.instant("mispredict", now)
                     return
                 if taken:
                     # BTB hit: predicted-taken branches redirect without a
@@ -432,6 +467,8 @@ class BigCore:
                     self.engine.dispatch(ins, now, self._vector_response(entry))
                     entry.dispatched = True
                     self.vector_dispatches += 1
+                    if self.obs is not None:
+                        self.obs.instant(f"vdispatch:{ins.op.name}", now)
                     if ins.rd is None:
                         entry.completed = True
                         self._wake(entry, now)
@@ -463,6 +500,8 @@ class BigCore:
             self.breakdown.add(Stall.BUSY)
         else:
             self.breakdown.add(Stall.MISC)
+        if self.obs is not None:
+            self.obs.cycle(Stall.BUSY if committed else self._commit_stall_kind())
 
     def _vector_response(self, entry):
         def respond(ready_time):

@@ -62,6 +62,13 @@ class LittleCore:
         self.instrs = 0
         self.active = True  # cleared when reconfigured as a vector lane
 
+    # --------------------------------------------------------- observability
+
+    obs = None  # UnitObs handle; None keeps every hook a single cheap check
+
+    def attach_obs(self, obs):
+        self.obs = obs.unit(self.core_id, "little", process="cores")
+
     # --------------------------------------------------------------- helpers
 
     def set_source(self, source):
@@ -80,6 +87,8 @@ class LittleCore:
 
     def _stall(self, kind):
         self.breakdown.add(kind)
+        if self.obs is not None:
+            self.obs.cycle(kind)
 
     def _fetch(self, ins, now):
         """Start fetching the line holding ``ins``; set front availability."""
@@ -113,12 +122,18 @@ class LittleCore:
 
     def tick(self, now):
         if not self.active:
+            if self.obs is not None:
+                # reconfigured as a vector lane: the lane's own unit accounts
+                # for this cycle, the scalar front end is simply off
+                self.obs.cycle(Stall.MISC)
             return
         issued = self._try_issue(now)
         self._drain_store_buffer(now)
         if issued:
             self.instrs += 1
             self.breakdown.add(Stall.BUSY)
+            if self.obs is not None:
+                self.obs.cycle(Stall.BUSY)
 
     def _try_issue(self, now):
         # pull next instruction into the issue stage
@@ -173,6 +188,8 @@ class LittleCore:
                     self._regs[dst] = ready
                 else:
                     self._regs[dst] = _INF
+                    if self.obs is not None:
+                        self.obs.instant("load_miss", now)
                 self._reg_kind[dst] = Stall.RAW_MEM
         else:
             lat = self.fu.try_issue(fu, now)
@@ -190,6 +207,8 @@ class LittleCore:
                 if not correct:
                     self._front_avail = now + (1 + self.mispredict_penalty) * self.period
                     self._cur_line = None
+                    if self.obs is not None:
+                        self.obs.instant("mispredict", now)
                 elif taken:
                     self._front_avail = now + (1 + self.taken_bubble) * self.period
                     self._cur_line = None

@@ -9,6 +9,18 @@ invocation resumes instead of re-simulating.  ``bigvlittle all --jobs N``
 is therefore one resumable, parallel full-paper reproduction.
 
 Cache maintenance: ``bigvlittle cache stats`` / ``bigvlittle cache clear``.
+
+Observability (see ``docs/observability.md``):
+
+* ``bigvlittle trace <workload> --out trace.json`` — run one workload with
+  the :mod:`repro.obs` tracer attached and export a Chrome ``trace_event``
+  JSON (load it at https://ui.perfetto.dev).
+* ``bigvlittle profile <workload>`` — same run, printed as a per-unit
+  cycle-attribution stall table.
+
+Both verbs always simulate fresh (never read or write the result cache:
+attaching an Observation adds ``obs.*`` keys that must not leak into
+cached results).
 """
 
 from __future__ import annotations
@@ -56,6 +68,8 @@ def main(argv=None):
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] in ("trace", "profile"):
+        return _obs_main(argv[0], argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="bigvlittle",
@@ -116,6 +130,49 @@ def main(argv=None):
         print(f"== all done in {time.time() - t_all:.1f}s; cache now holds "
               f"{st['disk_entries']} results "
               f"({st['disk_bytes'] / 1024:.0f} KiB) in {st['dir']} ==")
+    return 0
+
+
+def _obs_main(verb, argv):
+    ap = argparse.ArgumentParser(
+        prog=f"bigvlittle {verb}",
+        description=("Export a Chrome trace_event JSON for one run"
+                     if verb == "trace" else
+                     "Print a per-unit cycle-attribution stall table for one run"))
+    ap.add_argument("workload", help="workload name, e.g. saxpy, mmult, bfs")
+    ap.add_argument("--system", default="1b-4VL",
+                    help="system preset (default: 1b-4VL)")
+    ap.add_argument("--scale", default="small", choices=("tiny", "small", "full"))
+    if verb == "trace":
+        ap.add_argument("--out", default="trace.json", metavar="PATH",
+                        help="output path (default: trace.json)")
+        ap.add_argument("--max-events", type=int, default=1_000_000,
+                        help="trace ring-buffer capacity (oldest events drop)")
+    else:
+        ap.add_argument("--top", type=int, default=None, metavar="N",
+                        help="only show the N most-stalled units")
+    args = ap.parse_args(argv)
+
+    from repro.experiments.runner import _program_for
+    from repro.obs import Observation
+    from repro.soc import System, preset
+    from repro.workloads import get_workload
+
+    cfg = preset(args.system)
+    program = _program_for(cfg, get_workload(args.workload, args.scale))
+    obs = Observation(max_events=args.max_events) if verb == "trace" else Observation()
+    t0 = time.time()
+    result = System(cfg).run(program, obs=obs)
+    wall = time.time() - t0
+    print(f"== {args.workload}@{args.scale} on {args.system}: "
+          f"{result.cycles} cycles (1 GHz), simulated in {wall:.1f}s ==")
+    if verb == "trace":
+        n = obs.write_chrome_trace(args.out)
+        note = f", {obs.tracer.dropped} dropped" if obs.tracer.dropped else ""
+        print(f"wrote {n} events to {args.out}{note} "
+              f"(open at https://ui.perfetto.dev)")
+    else:
+        print(obs.profile_table(top=args.top))
     return 0
 
 

@@ -87,6 +87,15 @@ class L1Cache:
         self.invalidations_received = 0
         self.mshr_blocked = 0
 
+    # --------------------------------------------------------- observability
+
+    obs = None  # kept off the hit path entirely: hooks fire only on fills
+
+    def attach_obs(self, obs, fill_hist):
+        self.obs = obs
+        self._obs_track = obs.tracer.track(self.cache_id, process="mem")
+        self._obs_fill_hist = fill_hist
+
     # ------------------------------------------------------------- geometry
 
     def line_of(self, addr):
@@ -166,6 +175,9 @@ class L1Cache:
 
     def _install(self, line, granted, now):
         mshr = self._mshrs.pop(line, None)
+        if self.obs is not None and mshr is not None:
+            # miss-to-fill latency as seen by this cache's requester
+            self._obs_fill_hist.observe(now - mshr.issue_time)
         if line not in self._state:
             sidx = self._set_of(line)
             s = self._lru.setdefault(sidx, [])
@@ -176,6 +188,8 @@ class L1Cache:
                     self._dirty.discard(victim)
                     self.writebacks += 1
                     self.l2.writeback(self.cache_id, victim, now)
+                    if self.obs is not None:
+                        self.obs.tracer.instant(self._obs_track, "writeback", now)
                 else:
                     self.l2.drop_sharer(self.cache_id, victim)
             s.append(line)

@@ -25,11 +25,25 @@ class DRAM:
         self.writes = 0
         self.busy_cycles = 0
 
+    # --------------------------------------------------------- observability
+
+    obs = None  # UnitObs handle; None keeps every hook a single cheap check
+
+    def attach_obs(self, obs_unit):
+        self.obs = obs_unit
+
+    def busy_at(self, now):
+        """True while the channel is still serving a previous line."""
+        return self._next_free > now
+
     def request(self, now, is_write=False):
         """Issue one line request at cycle ``now``; returns data-ready cycle."""
         start = now if now >= self._next_free else self._next_free
         self._next_free = start + self.line_interval
         self.busy_cycles += self.line_interval // self.period
+        if self.obs is not None:
+            self.obs.complete("write" if is_write else "read", start,
+                              self.line_interval if is_write else self.latency)
         if is_write:
             self.writes += 1
             return start + self.line_interval  # write considered done when accepted

@@ -72,6 +72,23 @@ class L2Cache:
         self.invalidations_sent = 0
         self.writebacks_in = 0
 
+    # --------------------------------------------------------- observability
+
+    obs = None  # UnitObs handle; None keeps every hook a single cheap check
+
+    def attach_obs(self, obs_unit, metrics):
+        self.obs = obs_unit
+        self._obs_lat = metrics.histogram(
+            "l2.req_latency_ps",
+            (20_000, 50_000, 100_000, 150_000, 250_000, 500_000))
+
+    def busy_at(self, now):
+        """True while any bank still has a service slot in flight."""
+        for b in self._bank_free:
+            if b > now:
+                return True
+        return False
+
     # ------------------------------------------------------------- clients
 
     def register_client(self, client_id, client, coherent=True):
@@ -160,7 +177,11 @@ class L2Cache:
             dram_ready = self.dram.request(start + self.miss_lookup_latency * self.period, is_write=False)
             self._insert(line, dirty=False, now=start)
             ready = dram_ready + self.fill_latency * self.period + penalty
+            if self.obs is not None:
+                self.obs.instant("miss", now, {"src": src_id})
 
+        if self.obs is not None:
+            self._obs_lat.observe(ready - now)
         client.resp_queue.push_at((line, granted) if token is None else (line, granted, token), ready)
         return ready
 

@@ -6,6 +6,7 @@ from repro.mem.cache import L1Cache
 from repro.mem.dram import DRAM
 from repro.mem.l2 import L2Cache
 from repro.mem.message import DelayQueue
+from repro.stats.breakdown import Stall
 
 
 class RawPort:
@@ -95,10 +96,29 @@ class MemorySystem:
         self._raw_ports.append(port)
         return port
 
+    # --------------------------------------------------------- observability
+
+    obs = None  # Observation handle; None keeps every hook a single cheap check
+
+    def attach_obs(self, obs):
+        self.obs = obs
+        self._l2_obs = obs.unit("l2", "mem", process="mem")
+        self._dram_obs = obs.unit("dram", "mem", process="mem")
+        self.l2.attach_obs(self._l2_obs, obs.metrics)
+        self.dram.attach_obs(self._dram_obs)
+        fill_hist = obs.metrics.histogram(
+            "l1.fill_latency_ps",
+            (20_000, 50_000, 100_000, 150_000, 250_000, 500_000))
+        for c in self._all_l1:
+            c.attach_obs(obs, fill_hist)
+
     def tick(self, now):
         for c in self._all_l1:
             if c.resp_queue:
                 c.tick(now)
+        if self.obs is not None:
+            self._l2_obs.cycle(Stall.BUSY if self.l2.busy_at(now) else Stall.MISC)
+            self._dram_obs.cycle(Stall.BUSY if self.dram.busy_at(now) else Stall.MISC)
 
     def data_requests(self):
         """Core/engine-issued data requests into the memory subsystem

@@ -1,0 +1,36 @@
+"""Observability: structured event tracing, metrics, stall attribution.
+
+The subsystem is strictly opt-in: components carry a class-level
+``obs = None`` attribute and every hook sits behind a single
+``if self.obs is not None:`` check, so a simulation without an attached
+:class:`Observation` does *zero* extra work and its ``RunResult.stats``
+stay bit-identical to an uninstrumented build.
+
+Enable it by handing an :class:`Observation` to the system::
+
+    from repro.obs import Observation
+    from repro.soc import preset, System
+
+    obs = Observation()
+    result = System(preset("1b-4VL")).run(program, obs=obs)
+    obs.write_chrome_trace("trace.json")   # load in Perfetto / chrome://tracing
+    print(obs.profile_table())             # per-unit stall attribution
+
+Three pillars (see ``docs/observability.md``):
+
+* :class:`~repro.obs.tracer.Tracer` — ring-buffer-bounded begin/end,
+  instant, complete, and counter events on per-component tracks,
+  exportable as Chrome ``trace_event`` JSON.
+* :class:`~repro.obs.metrics.MetricsRegistry` — typed counters, gauges,
+  and fixed-bucket histograms folded deterministically into
+  ``RunResult.stats`` under ``obs.metric.*``.
+* Per-unit **stall attribution** — every cycle of every ticking unit is
+  classified into the Figure-7 :class:`~repro.stats.Stall` categories and
+  the per-unit sums are checked against ``sim.ticks_*``.
+"""
+
+from repro.obs.hooks import Observation, UnitObs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+__all__ = ["Observation", "UnitObs", "MetricsRegistry", "Tracer"]

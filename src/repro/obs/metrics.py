@@ -1,0 +1,128 @@
+"""Typed metrics: counters, gauges, and fixed-bucket histograms.
+
+Every metric folds into a flat ``{name: int}`` dict (:meth:`as_stats`)
+whose keys and values are a pure function of the simulated events, so the
+result can be merged into ``RunResult.stats`` without breaking the
+harness's determinism checks or cache round-trips (all values are ints —
+JSON-lossless).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.errors import ConfigError
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def add(self, n=1):
+        self.value += n
+
+    def as_stats(self, prefix):
+        return {prefix: self.value}
+
+
+class Gauge:
+    """A sampled level: tracks last / min / max of ``set`` calls."""
+
+    __slots__ = ("last", "lo", "hi", "samples")
+
+    def __init__(self):
+        self.last = 0
+        self.lo = None
+        self.hi = None
+        self.samples = 0
+
+    def set(self, v):
+        self.last = v
+        if self.lo is None or v < self.lo:
+            self.lo = v
+        if self.hi is None or v > self.hi:
+            self.hi = v
+        self.samples += 1
+
+    def as_stats(self, prefix):
+        return {
+            f"{prefix}.last": self.last,
+            f"{prefix}.min": self.lo if self.lo is not None else 0,
+            f"{prefix}.max": self.hi if self.hi is not None else 0,
+            f"{prefix}.samples": self.samples,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram: bucket ``i`` counts values in
+    ``(bounds[i-1], bounds[i]]``, with one implicit overflow bucket; also
+    tracks total count and sum."""
+
+    __slots__ = ("bounds", "counts", "n", "total")
+
+    def __init__(self, bounds):
+        b = tuple(bounds)
+        if not b or list(b) != sorted(b):
+            raise ConfigError(f"histogram bounds must be sorted and non-empty: {bounds!r}")
+        self.bounds = b
+        self.counts = [0] * (len(b) + 1)
+        self.n = 0
+        self.total = 0
+
+    def observe(self, v, n=1):
+        self.counts[bisect_left(self.bounds, v)] += n
+        self.n += n
+        self.total += v * n
+
+    def as_stats(self, prefix):
+        out = {}
+        for b, c in zip(self.bounds, self.counts):
+            out[f"{prefix}.le_{b}"] = c
+        out[f"{prefix}.inf"] = self.counts[-1]
+        out[f"{prefix}.count"] = self.n
+        out[f"{prefix}.sum"] = self.total
+        return out
+
+
+class MetricsRegistry:
+    """Named metric store; re-requesting a name returns the same object."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self):
+        self._metrics = {}
+
+    def _get(self, name, kind, factory):
+        m = self._metrics.get(name)
+        if m is None:
+            m = factory()
+            self._metrics[name] = m
+        elif not isinstance(m, kind):
+            raise ConfigError(f"metric {name!r} already registered as {type(m).__name__}")
+        return m
+
+    def counter(self, name):
+        return self._get(name, Counter, Counter)
+
+    def gauge(self, name):
+        return self._get(name, Gauge, Gauge)
+
+    def histogram(self, name, bounds):
+        h = self._get(name, Histogram, lambda: Histogram(bounds))
+        if h.bounds != tuple(bounds):
+            raise ConfigError(f"metric {name!r} re-registered with different buckets")
+        return h
+
+    def __len__(self):
+        return len(self._metrics)
+
+    def as_stats(self, prefix="obs.metric."):
+        """Deterministic flat dict of every metric (keys sorted)."""
+        out = {}
+        for name in sorted(self._metrics):
+            out.update(self._metrics[name].as_stats(prefix + name))
+        return out

@@ -23,10 +23,15 @@ from repro.vector import DecoupledVectorEngine, VLittleEngine
 class System:
     """One simulated SoC built from a :class:`SoCConfig`."""
 
-    def __init__(self, config):
+    def __init__(self, config, obs=None):
         if not isinstance(config, SoCConfig):
             raise ConfigError("System expects a SoCConfig")
         self.config = config
+        # observability is deliberately *not* part of SoCConfig: attaching an
+        # Observation must never change canonical_json(), cache keys, or any
+        # pre-existing stat — it only adds obs.* keys to the result
+        self.obs = None
+        self._pending_obs = obs
         pb, pl, pm = config.period_big(), config.period_little(), config.period_mem()
         m = config.mem
         self.ms = MemorySystem(
@@ -92,6 +97,9 @@ class System:
         ]
         self.runtime = None
         self._pb, self._pl, self._pm = pb, pl, pm
+        self._name = ""
+        self._ticks_big = self._ticks_little = self._ticks_mem = 0
+        self._wall_t0 = time.perf_counter()
 
     # ------------------------------------------------------------------- run
 
@@ -140,10 +148,27 @@ class System:
         for w, worker_src in zip(workers, self.runtime.workers):
             w.set_source(worker_src)
 
-    def run(self, program=None, max_ns=50_000_000, quiet=True):
+    def _attach_obs(self, obs):
+        """Fan an Observation out to every component that can report."""
+        self.obs = obs
+        for c in self.bigs:
+            c.attach_obs(obs)
+        for c in self.littles:
+            c.attach_obs(obs)
+        if self.engine is not None:
+            self.engine.attach_obs(obs)
+        self.ms.attach_obs(obs)
+
+    def run(self, program=None, max_ns=50_000_000, quiet=True, obs=None):
         """Simulate to completion; returns a :class:`RunResult`."""
         if program is not None:
             self.load(program)
+        if obs is None:
+            obs = self._pending_obs
+        if obs is not None and self.obs is None:
+            # attach after load(): task-parallel programs may bypass the
+            # engine, and only surviving components should own obs units
+            self._attach_obs(obs)
         pb, pl, pm = self._pb, self._pl, self._pm
         bigs, littles, engine, ms = self.bigs, self.littles, self.engine, self.ms
         t_big = t_little = t_mem = 0
@@ -213,9 +238,9 @@ class System:
         stats["cycles_1ghz"] = t_ps // 1000
         # simulated clock ticks per domain: deterministic work counters that
         # let the harness report sim throughput (ticks / wall second)
-        stats["sim.ticks_big"] = getattr(self, "_ticks_big", 0)
-        stats["sim.ticks_little"] = getattr(self, "_ticks_little", 0)
-        stats["sim.ticks_mem"] = getattr(self, "_ticks_mem", 0)
+        stats["sim.ticks_big"] = self._ticks_big
+        stats["sim.ticks_little"] = self._ticks_little
+        stats["sim.ticks_mem"] = self._ticks_mem
         stats["fetch_requests"] = self.ms.fetch_requests()
         data_reqs = self.ms.data_requests()
         if isinstance(self.engine, DecoupledVectorEngine):
@@ -228,12 +253,18 @@ class System:
         if self.runtime is not None:
             stats.update(self.runtime.stats())
         stats.update(self.ms.stats())
-        name = getattr(self, "_name", "")
+        if self.obs is not None:
+            self.obs.validate({
+                "big": self._ticks_big,
+                "little": self._ticks_little,
+                "mem": self._ticks_mem,
+            })
+            stats.update(self.obs.stats_dict())
         timing = {
-            "wall_s": time.perf_counter() - getattr(self, "_wall_t0", time.perf_counter()),
+            "wall_s": time.perf_counter() - self._wall_t0,
             "from_cache": False,
         }
-        return RunResult(name, self.config.name, t_ps // 1000, stats, timing)
+        return RunResult(self._name, self.config.name, t_ps // 1000, stats, timing)
 
 
 def build_system(config):

@@ -45,6 +45,13 @@ class Breakdown:
         t = self.total()
         return self.counts[category] / t if t else 0.0
 
+    def fractions(self):
+        """All category fractions at once (one total() pass, zero-safe)."""
+        t = self.total()
+        if not t:
+            return {name: 0.0 for name in STALL_NAMES}
+        return {name: self.counts[i] / t for i, name in enumerate(STALL_NAMES)}
+
     def as_dict(self):
         return {name: self.counts[i] for i, name in enumerate(STALL_NAMES)}
 

@@ -24,8 +24,20 @@ class Counters:
     def as_dict(self):
         return dict(self._c)
 
+    def items(self):
+        return self._c.items()
+
     def __getitem__(self, name):
-        return self._c.get(name, 0)
+        return self.get(name)
+
+    def __contains__(self, name):
+        return name in self._c
+
+    def __len__(self):
+        return len(self._c)
+
+    def __iter__(self):
+        return iter(self._c)
 
     def __repr__(self):
         return f"<Counters {self._c}>"
@@ -50,8 +62,17 @@ class RunResult:
         self.stats = stats
         self.timing = timing if timing is not None else {}
 
+    def get(self, key, default=0):
+        return self.stats.get(key, default)
+
+    def items(self):
+        return self.stats.items()
+
     def __getitem__(self, key):
-        return self.stats.get(key, 0)
+        return self.get(key)
+
+    def __contains__(self, key):
+        return key in self.stats
 
     def to_dict(self):
         """JSON-safe form for the on-disk result cache."""

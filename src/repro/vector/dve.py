@@ -19,6 +19,7 @@ from repro.cores.fu import DEFAULT_LATENCY
 from repro.errors import ConfigError
 from repro.isa.scalar import FUClass
 from repro.isa.vector import VClass, VOp, VOP_CLASS, VOP_IS_LOAD, VOP_IS_STORE
+from repro.stats.breakdown import Stall
 from repro.utils import ceil_div
 
 _CLS_FU = {
@@ -86,6 +87,14 @@ class DecoupledVectorEngine:
         self.line_reqs = 0
         self.store_line_reqs = 0
 
+    # --------------------------------------------------------- observability
+
+    obs = None  # UnitObs handle; None keeps every hook a single cheap check
+
+    def attach_obs(self, obs):
+        self.obs = obs.unit("dve", "big", process="vector")
+        self._obs_inflight = obs.metrics.gauge("dve.inflight_lines")
+
     # ------------------------------------------------------------- interface
 
     def vlmax(self, ew):
@@ -124,7 +133,10 @@ class DecoupledVectorEngine:
 
     def tick(self, now):
         self._mem_tick(now)
-        self._compute_tick(now)
+        cat = self._compute_tick(now)
+        if self.obs is not None:
+            self.obs.cycle(cat)
+            self._obs_inflight.set(self._inflight)
 
     def _mem_tick(self, now):
         # responses from the L2
@@ -158,19 +170,22 @@ class DecoupledVectorEngine:
             self._loadq_used += 1
             self.line_reqs += 1
             issued += 1
+            if self.obs is not None:
+                self.obs.instant("load_line", now, {"seq": tr.seq})
 
     def _l2_request(self, line, is_write, now, token):
         # the raw port was registered with the L2 under its port_id
         self.l2.request(self.port.port_id, line, is_write, now, token=token)
 
     def _compute_tick(self, now):
+        """One issue-pipe cycle; returns its Stall attribution category."""
         if self._cmdq and self._cmdq[0][2]:
             if self._pop_at <= now:
                 self._cmdq.popleft()
             else:
-                return
+                return Stall.BUSY  # head executing over its chimes
         if not self._cmdq:
-            return
+            return Stall.MISC
         ins, respond, started = self._cmdq[0]
         cls = VOP_CLASS[ins.op]
         nchimes = max(1, ceil_div(max(ins.vl, 1), self.lanes))
@@ -179,18 +194,19 @@ class DecoupledVectorEngine:
         if ins.op == VOp.VMFENCE:
             if self._inflight == 0 and self._store_outstanding == 0 and not self._pending_reqs:
                 self._finish(now + P)
-            return
+                return Stall.BUSY
+            return Stall.RAW_MEM  # fence draining outstanding lines
         # register dependences
         for dep in ins.dep_ids:
             if self._vready.get(dep, 0) > now:
-                return
+                return Stall.RAW_LLFU
         if self._pipe_free > now:
-            return
+            return Stall.STRUCT
 
         if VOP_IS_LOAD[ins.op]:
             tr = self._trackers.get(ins.seq)
             if tr is None or tr.ready_time is None or tr.ready_time > now:
-                return
+                return Stall.RAW_MEM
             # write back over the chimes; free load-queue lines
             done = now + nchimes * P
             self._vready[ins.seq] = done + P
@@ -198,7 +214,7 @@ class DecoupledVectorEngine:
             self._loadq_used -= tr.lines
             del self._trackers[ins.seq]
             self._finish(done)
-            return
+            return Stall.BUSY
         if VOP_IS_STORE[ins.op]:
             lines = self._lines_of(ins)
             for line in lines:
@@ -212,7 +228,7 @@ class DecoupledVectorEngine:
             done = now + nchimes * P
             self._pipe_free = done
             self._finish(done)
-            return
+            return Stall.BUSY
         if cls in (VClass.CROSS_PERM, VClass.CROSS_RED):
             lat = (max(ins.vl, 1) + DEFAULT_LATENCY[FUClass.FPU]) * P
             done = now + lat
@@ -221,7 +237,7 @@ class DecoupledVectorEngine:
             if respond:
                 respond(done + 2 * P)
             self._finish(done)
-            return
+            return Stall.BUSY
         # plain arithmetic: chime-pipelined over the wide lanes
         fu = _CLS_FU.get(cls, FUClass.ALU)
         lat = DEFAULT_LATENCY[fu] * P
@@ -233,6 +249,7 @@ class DecoupledVectorEngine:
         if respond:
             respond(done + lat + 2 * P)
         self._finish(done)
+        return Stall.BUSY
 
     def _finish(self, at):
         """Mark the head instruction as started; it pops when ``at`` passes."""

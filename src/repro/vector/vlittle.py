@@ -60,6 +60,9 @@ VXREDUCE = 6
 MOVEXS = 7
 FENCE_MARK = 8
 
+UOP_NAMES = ("exec", "ldwb", "stdata", "idxaddr", "vxread", "vxwrite",
+             "vxreduce", "movexs", "fence")
+
 _CLS_FU = {
     VClass.INT_SIMPLE: FUClass.ALU,
     VClass.INT_COMPLEX: FUClass.DIV,
@@ -268,6 +271,21 @@ class VLittleEngine:
         self.instrs = 0
         self.mode_switches = 0
 
+    # --------------------------------------------------------- observability
+
+    obs = None  # VCU UnitObs; None keeps every hook a single cheap check
+
+    def attach_obs(self, obs):
+        self.obs = obs.unit("vcu", "little", process="vector")
+        self._lane_obs = [obs.unit(f"vcu.lane{i}", "little", process="vector")
+                          for i in range(self.lanes_count)]
+        self._obs_uopq = obs.metrics.histogram(
+            "vcu.uopq_occupancy", (0, 8, 16, 32, 48, 64, 96))
+        self._obs_dataq = obs.metrics.gauge("vcu.dataq_used")
+        self._obs_last_uopq = -1
+        self._vxu_obs = self.vxu.attach_obs(obs)
+        self.vmu.attach_obs(obs)
+
     # ---------------------------------------------------------- geometry
 
     def pack_for(self, ew):
@@ -298,6 +316,9 @@ class VLittleEngine:
             # the OS switches the cluster into vector mode on first use
             self._ready_at = now + self.switch_penalty * self.period
             self.mode_switches += 1
+            if self.obs is not None:
+                self.obs.complete("mode_switch", now,
+                                  self.switch_penalty * self.period)
         if now < self._ready_at:
             return False
         return (
@@ -415,9 +436,12 @@ class VLittleEngine:
             and not self.vxu.busy()
         )
 
+    _bcast_issued = False  # did _broadcast hand a µop to the lanes this cycle
+
     def tick(self, now):
         self.vmu.tick(now)
         statuses = [lane.tick(now) for lane in self.lanes]
+        self._bcast_issued = False
         reason = self._broadcast(now)
         for lane, st in zip(self.lanes, statuses):
             if st == "busy":
@@ -426,6 +450,19 @@ class VLittleEngine:
                 lane.breakdown.add(reason)
             else:
                 lane.breakdown.add(st)
+        o = self.obs
+        if o is not None:
+            for u, lane, st in zip(self._lane_obs, self.lanes, statuses):
+                u.cycle(Stall.BUSY if st == "busy"
+                        else (reason if st == "empty" else st))
+            o.cycle(Stall.BUSY if self._bcast_issued else reason)
+            self._vxu_obs.cycle(self.vxu.cycle_category(now))
+            depth = len(self._uopq)
+            self._obs_uopq.observe(depth)
+            self._obs_dataq.set(self._dataq_used)
+            if depth != self._obs_last_uopq:
+                o.counter("uopq_depth", now, depth)
+                self._obs_last_uopq = depth
 
     def _broadcast(self, now):
         """Try to broadcast the head µop; returns the stall category idle
@@ -455,6 +492,10 @@ class VLittleEngine:
             l.latch = uop
             l.avail = now + self.period
         self._uopq.popleft()
+        self._bcast_issued = True
+        if self.obs is not None:
+            self.obs.instant(f"uop:{UOP_NAMES[uop.kind]}", now,
+                             {"seq": uop.ins.seq, "chime": uop.chime})
         if id(uop) in self._dataq_release:
             self._dataq_release.discard(id(uop))
             self._dataq_used -= 1

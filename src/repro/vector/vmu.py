@@ -24,6 +24,7 @@ from collections import deque
 
 from repro.isa.vector import VClass, VOP_CLASS, VOP_IS_LOAD
 from repro.mem.message import BLOCKED, HIT
+from repro.stats.breakdown import Stall
 
 _INF = 1 << 60
 
@@ -75,6 +76,17 @@ class VectorMemoryUnit:
         # counters
         self.line_reqs = 0
         self.store_line_reqs = 0
+
+    # --------------------------------------------------------- observability
+
+    obs = None  # VMIU UnitObs; None keeps every hook a single cheap check
+
+    def attach_obs(self, obs):
+        self.obs = obs.unit("vmu", "little", process="vector")
+        self._obs_coalesce = obs.metrics.histogram(
+            "vmu.coalesce_elems", (1, 2, 4, 8, 16, 32))
+        for v in self.vmsus:
+            v.attach_obs(obs)
 
     # ---------------------------------------------------------- VCU interface
 
@@ -132,34 +144,42 @@ class VectorMemoryUnit:
             v.tick(now)
         self.vsu.tick(now)
         self.vlu.tick(now)
-        self._vmiu_tick(now)
+        cat = self._vmiu_tick(now)
+        if self.obs is not None:
+            self.obs.cycle(cat)
 
     def _vmiu_tick(self, now):
-        """Generate at most one line request per cycle (shared command bus)."""
+        """Generate at most one line request per cycle (shared command bus).
+
+        Returns the Stall category this VMIU cycle is attributed to."""
         if not self._cmdq:
-            return
+            return Stall.MISC
         cmd = self._cmdq[0]
         if cmd.next_line >= len(cmd.lines):
             self._cmdq.popleft()
-            return
+            return Stall.MISC
         line, deliveries, nelems = cmd.lines[cmd.next_line]
         if cmd.indexed:
             # only issue once the lanes have produced the addresses of every
             # element in this line-group (coalescing window <= 4 elements)
             need = cmd.next_elem + min(nelems, self.coalesce_width)
             if cmd.addr_credits < need:
-                return
+                return Stall.RAW_LLFU  # waiting on lane address generation
         is_write = not VOP_IS_LOAD[cmd.ins.op]
         bank = self.bank_map.bank_of(line)
         vmsu = self.vmsus[bank]
         if not vmsu.can_accept():
-            return
+            return Stall.STRUCT  # target slice's input queue is full
         req = LineReq(self._rid, line, is_write,
                       cmd.ins.seq, list(deliveries.items()), nelems)
         self._rid += 1
         self.line_reqs += 1
         if is_write:
             self.store_line_reqs += 1
+        if self.obs is not None:
+            self._obs_coalesce.observe(nelems)
+            self.obs.instant("store_line" if is_write else "load_line", now,
+                             {"bank": bank, "seq": cmd.ins.seq})
         vmsu.push(req, now)
         if not is_write:
             self.vlu.pending.append(req)
@@ -169,6 +189,7 @@ class VectorMemoryUnit:
         cmd.next_elem += nelems
         if cmd.next_line >= len(cmd.lines):
             self._cmdq.popleft()
+        return Stall.BUSY
 
     def stats(self):
         return {
@@ -198,6 +219,15 @@ class VMSU:
         self.cam_stalls = 0
         self.ldq_full_stalls = 0
 
+    # --------------------------------------------------------- observability
+
+    obs = None  # UnitObs handle; None keeps every hook a single cheap check
+
+    def attach_obs(self, obs):
+        self.obs = obs.unit(f"vmsu{self.bank}", "little", process="vector")
+        self._obs_ldq = obs.metrics.histogram(
+            f"vmsu{self.bank}.ldq_occupancy", (0, 4, 8, 16, 32, 64))
+
     def can_accept(self):
         return len(self.inq) < self.inq_depth
 
@@ -209,39 +239,53 @@ class VMSU:
                 and self._store_fills == 0)
 
     def tick(self, now):
-        self._accept_tick(now)
-        self._store_write_tick(now)
+        a = self._accept_tick(now)
+        s = self._store_write_tick(now)
+        if self.obs is not None:
+            # one category per slice cycle: progress on either sub-pipe wins
+            if a == Stall.BUSY or s == Stall.BUSY:
+                cat = Stall.BUSY
+            elif a is not None:
+                cat = a
+            elif s is not None:
+                cat = s
+            else:
+                cat = Stall.MISC
+            self.obs.cycle(cat)
+            self._obs_ldq.observe(self.ldq_used)
 
     def _accept_tick(self, now):
+        """Returns the Stall category for the accept pipe, or None if idle."""
         if not self.inq:
-            return
+            return None
         req = self.inq[0]
         if req.is_write:
             if len(self.sdq) >= self.storeq_lines:
-                return
+                return Stall.STRUCT
             # the store enters the CAM only now: the in-order inq guarantees
             # it is older than every load still queued behind it
             self.cam[req.line] = self.cam.get(req.line, 0) + 1
             self.sdq.append(req)
             self.inq.popleft()
-            return
+            return Stall.BUSY
         # load: RAW disambiguation against queued stores to the same line
         if self.cam.get(req.line):
             self.cam_stalls += 1
-            return
+            return Stall.RAW_MEM
         if self.ldq_used >= self.loadq_lines:
             self.ldq_full_stalls += 1
-            return
+            return Stall.STRUCT
         if self._port_cycle == now:
-            return
+            return Stall.STRUCT
         res, ready = self.l1d.access(req.line, False, now, waiter=self._fill_waiter(req))
         if res == BLOCKED:
-            return
+            return Stall.STRUCT
         self._port_cycle = now
         if res == HIT:
             req.data_ready = ready
         self.ldq_used += 1
         self.inq.popleft()
+        return Stall.BUSY
 
     def _fill_waiter(self, req):
         def waiter(line, ready):
@@ -254,19 +298,22 @@ class VMSU:
         entry clears as soon as the store is *sent to memory* (paper §III-E:
         loads stall only "until the store request is sent to the memory
         subsystem"); a write miss finishes inside the cache via its MSHR."""
-        if not self.sdq or self._port_cycle == now:
-            return
+        if not self.sdq:
+            return None
+        if self._port_cycle == now:
+            return Stall.STRUCT
         req = self.sdq[0]
         if req.store_data_at is None or req.store_data_at > now:
-            return
+            return Stall.RAW_LLFU  # waiting on store data from the lanes
         res, ready = self.l1d.access(req.line, True, now, waiter=self._store_done_waiter())
         if res == BLOCKED:
             self._store_fills -= 1
-            return
+            return Stall.STRUCT
         self._port_cycle = now
         if res == HIT:
             self._store_fills -= 1
         self._retire_store()
+        return Stall.BUSY
 
     def _store_done_waiter(self):
         self._store_fills += 1

@@ -10,6 +10,8 @@ cross-element instruction at a time; the VCU holds subsequent ones back.
 
 from __future__ import annotations
 
+from repro.stats.breakdown import Stall
+
 
 class CrossOp:
     __slots__ = ("seq", "nelems", "reads_needed", "reads_done", "complete_at")
@@ -30,6 +32,27 @@ class VXU:
         self.active = None  # at most one CrossOp in flight
         self.ops_completed = 0
 
+    # --------------------------------------------------------- observability
+
+    obs = None  # UnitObs handle; None keeps every hook a single cheap check
+
+    def attach_obs(self, obs):
+        self.obs = obs.unit("vxu", "little", process="vector")
+        return self.obs
+
+    def cycle_category(self, now):
+        """Classify this ring cycle (called once per engine tick when
+        observability is on): idle, gathering lane reads, rotating, or
+        holding a finished result for the lanes to drain."""
+        op = self.active
+        if op is None:
+            return Stall.MISC
+        if op.complete_at is None:
+            return Stall.STRUCT  # waiting on vxread µops from the lanes
+        if op.complete_at > now:
+            return Stall.BUSY  # ring rotating, one hop per cycle
+        return Stall.XELEM  # result ready, waiting for vxwrite/vxreduce
+
     def busy(self):
         return self.active is not None
 
@@ -47,6 +70,9 @@ class VXU:
         if op.reads_done >= op.reads_needed:
             # full rotation: one hop per cycle for each source element
             op.complete_at = now + (op.nelems + self.extra_latency) * self.period
+            if self.obs is not None:
+                self.obs.complete("ring_rotate", now, op.complete_at - now,
+                                  {"seq": op.seq, "nelems": op.nelems})
 
     def result_ready(self, seq, now):
         op = self.active

@@ -73,3 +73,28 @@ def test_stats_carry_no_host_measurements(fresh_cache):
     assert r.timing["wall_s"] > 0
     assert r.stats["sim.ticks_big"] > 0
     assert r.stats["sim.ticks_mem"] > 0
+
+
+def test_observed_run_does_not_disturb_cache(fresh_cache):
+    """Cache keys and cached contents are a function of (config, workload,
+    scale) only: an observed run of the same pair must not change what the
+    harness caches or how it hits."""
+    from repro.experiments.runner import _program_for
+    from repro.obs import Observation
+    from repro.soc import System
+    from repro.workloads import get_workload
+
+    a = run_pair("1b-4VL", "saxpy", "tiny")
+    key = fresh_cache.key_for(preset("1b-4VL"), "saxpy", "tiny")
+
+    cfg = preset("1b-4VL")
+    observed = System(cfg).run(
+        _program_for(cfg, get_workload("saxpy", "tiny")), obs=Observation())
+
+    assert fresh_cache.key_for(preset("1b-4VL"), "saxpy", "tiny") == key
+    hit = run_pair("1b-4VL", "saxpy", "tiny")
+    assert hit is a  # still the cached object, untouched by the obs run
+    assert not any(k.startswith("obs.") for k in hit.stats)
+    shared = {k: v for k, v in observed.stats.items()
+              if not k.startswith("obs.")}
+    assert shared == a.stats

@@ -1,0 +1,66 @@
+"""Observation facade: unit registration, validation, stats folding."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import Observation
+from repro.obs.hooks import ObsValidationError
+from repro.stats import STALL_NAMES, Stall
+
+
+def test_unit_registration():
+    obs = Observation()
+    u = obs.unit("big0", "big", process="cores")
+    assert obs.units["big0"] is u
+    with pytest.raises(ConfigError):
+        obs.unit("big0", "big")  # duplicate name
+    with pytest.raises(ConfigError):
+        obs.unit("x", "gpu")  # unknown clock domain
+
+
+def test_validate_accepts_exact_sum_and_zero():
+    obs = Observation()
+    a = obs.unit("a", "little")
+    b = obs.unit("b", "little")  # never ticks (bypassed engine)
+    for _ in range(10):
+        a.cycle(Stall.BUSY)
+    assert obs.validate({"little": 10})
+    assert b.total() == 0
+
+
+def test_validate_rejects_partial_accounting():
+    obs = Observation()
+    u = obs.unit("a", "big")
+    u.cycle(Stall.BUSY, 7)
+    with pytest.raises(ObsValidationError):
+        obs.validate({"big": 10})
+
+
+def test_stats_dict_shape():
+    obs = Observation()
+    u = obs.unit("a", "mem")
+    u.cycle(Stall.BUSY, 3)
+    u.cycle(Stall.MISC, 2)
+    obs.metrics.counter("reqs").add(5)
+    st = obs.stats_dict()
+    for cat in STALL_NAMES:
+        assert f"obs.cycles.a.{cat}" in st
+    assert st["obs.cycles.a.busy"] == 3
+    assert st["obs.cycles.a.misc"] == 2
+    assert st["obs.metric.reqs"] == 5
+    assert st["obs.trace.events"] == 0
+    assert all(k.startswith("obs.") for k in st)
+    assert all(isinstance(v, int) for v in st.values())
+
+
+def test_profile_rows_skip_idle_units():
+    obs = Observation()
+    obs.unit("idle", "big")
+    busy = obs.unit("busy", "big")
+    busy.cycle(Stall.BUSY, 4)
+    busy.cycle(Stall.RAW_MEM, 6)
+    rows = obs.profile_rows()
+    assert [r["unit"] for r in rows] == ["busy"]
+    assert rows[0]["busy_frac"] == 0.4
+    table = obs.profile_table()
+    assert "busy" in table and "idle" not in table

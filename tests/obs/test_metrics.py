@@ -1,0 +1,67 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import MetricsRegistry
+
+
+def test_counter():
+    m = MetricsRegistry()
+    c = m.counter("reqs")
+    c.add()
+    c.add(4)
+    assert c.value == 5
+    assert m.counter("reqs") is c  # same name -> same instrument
+
+
+def test_gauge():
+    m = MetricsRegistry()
+    g = m.gauge("occ")
+    for v in (3, 9, 1):
+        g.set(v)
+    st = g.as_stats("occ")
+    assert st == {"occ.last": 1, "occ.min": 1, "occ.max": 9, "occ.samples": 3}
+
+
+def test_histogram_buckets():
+    m = MetricsRegistry()
+    h = m.histogram("lat", (10, 100, 1000))
+    for v in (5, 10, 11, 99, 100, 5000):
+        h.observe(v)
+    st = h.as_stats("lat")
+    # bucket le_b counts values in (previous_bound, b]; inf is overflow
+    assert st["lat.le_10"] == 2      # 5, 10
+    assert st["lat.le_100"] == 3     # 11, 99, 100
+    assert st["lat.le_1000"] == 0
+    assert st["lat.inf"] == 1        # 5000
+    assert st["lat.count"] == 6
+    assert st["lat.sum"] == 5225
+
+
+def test_kind_mismatch_rejected():
+    m = MetricsRegistry()
+    m.counter("x")
+    with pytest.raises(ConfigError):
+        m.gauge("x")
+    m.histogram("h", (1, 2))
+    with pytest.raises(ConfigError):
+        m.histogram("h", (1, 2, 3))  # same name, different buckets
+
+
+def test_as_stats_deterministic():
+    def build():
+        m = MetricsRegistry()
+        m.counter("b").add(2)
+        m.counter("a").add(1)
+        m.gauge("g").set(7)
+        return m
+
+    st = build().as_stats()
+    # identical registries fold identically, regardless of creation order,
+    # and metrics appear sorted by name
+    assert list(st) == list(build().as_stats())
+    assert st == build().as_stats()
+    assert list(st)[:2] == ["obs.metric.a", "obs.metric.b"]
+    assert all(k.startswith("obs.metric.") for k in st)
+    assert all(isinstance(v, int) for v in st.values())

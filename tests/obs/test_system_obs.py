@@ -1,0 +1,95 @@
+"""End-to-end observability: a real simulated run with obs attached.
+
+The acceptance contract (docs/observability.md):
+
+* per-unit cycle attribution sums to that unit's domain tick count;
+* the exported Chrome trace is schema-valid and names distinct tracks for
+  the big core, at least one little core, the VCU, VXU, VMU, and DRAM;
+* attaching an Observation never changes any pre-existing stat.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import _program_for
+from repro.obs import Observation
+from repro.soc import System, preset
+from repro.stats import STALL_NAMES
+from repro.workloads import get_workload
+
+
+def _run(system_name, workload, obs=None):
+    cfg = preset(system_name)
+    program = _program_for(cfg, get_workload(workload, "tiny"))
+    return System(cfg).run(program, obs=obs)
+
+
+@pytest.fixture(scope="module")
+def observed_run():
+    obs = Observation()
+    result = _run("1b-4VL", "saxpy", obs=obs)
+    return obs, result
+
+
+def test_attribution_sums_to_domain_ticks(observed_run):
+    obs, result = observed_run
+    ticks = {"big": result["sim.ticks_big"],
+             "little": result["sim.ticks_little"],
+             "mem": result["sim.ticks_mem"]}
+    assert ticks["little"] > 0
+    for u in obs.units.values():
+        assert u.total() in (0, ticks[u.domain]), u.name
+    # the VCU genuinely ran on this workload
+    assert obs.units["vcu"].total() == ticks["little"]
+
+
+def test_obs_stats_folded_into_result(observed_run):
+    obs, result = observed_run
+    for cat in STALL_NAMES:
+        assert f"obs.cycles.vcu.{cat}" in result.stats
+    assert result["obs.trace.events"] > 0
+    assert result["obs.trace.dropped"] == 0
+
+
+def test_chrome_trace_has_required_tracks(observed_run):
+    obs, _ = observed_run
+    doc = obs.chrome_trace()
+    events = doc["traceEvents"]
+    assert events, "trace must be non-empty for a vector workload"
+    tracks = {e["args"]["name"] for e in events
+              if e["ph"] == "M" and e["name"] == "thread_name"}
+    for want in ("big0", "lit0", "vcu", "vxu", "vmu", "dram"):
+        assert want in tracks, want
+    for e in events:
+        assert e["ph"] in {"B", "E", "i", "X", "C", "M"}
+        assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+        if e["ph"] != "M":
+            assert isinstance(e["ts"], int) and e["ts"] >= 0
+    json.dumps(doc)  # JSON-serializable end to end
+
+
+def test_obs_off_is_bit_identical(observed_run):
+    obs, with_obs = observed_run
+    without = _run("1b-4VL", "saxpy")
+    shared = {k: v for k, v in with_obs.stats.items()
+              if not k.startswith("obs.")}
+    assert shared == without.stats
+    extra = set(with_obs.stats) - set(without.stats)
+    assert extra and all(k.startswith("obs.") for k in extra)
+
+
+def test_task_parallel_run_validates():
+    # 1b-4VL running a task-parallel program bypasses the engine: its units
+    # must report zero and validation must still pass
+    obs = Observation()
+    result = _run("1b-4L", "bfs", obs=obs)
+    assert result["obs.trace.events"] >= 0
+    assert obs.units["big0"].total() == result["sim.ticks_big"]
+
+
+def test_scalar_system_validates():
+    obs = Observation()
+    result = _run("1b", "vvadd", obs=obs)
+    assert obs.units["big0"].total() == result["sim.ticks_big"]
+    assert obs.units["l2"].total() == result["sim.ticks_mem"]

@@ -21,6 +21,21 @@ def test_breakdown_empty_fraction():
     assert Breakdown().fraction(Stall.BUSY) == 0.0
 
 
+def test_breakdown_fractions_zero_total():
+    fr = Breakdown().fractions()
+    assert set(fr) == set(STALL_NAMES)
+    assert all(v == 0.0 for v in fr.values())
+
+
+def test_breakdown_fractions_sum_to_one():
+    b = Breakdown()
+    b.add(Stall.BUSY, 3)
+    b.add(Stall.RAW_MEM, 1)
+    fr = b.fractions()
+    assert fr["busy"] == 0.75 and fr["raw_mem"] == 0.25
+    assert sum(fr.values()) == 1.0
+
+
 def test_breakdown_merge():
     a, b = Breakdown(), Breakdown()
     a.add(Stall.BUSY, 2)
@@ -46,8 +61,29 @@ def test_counters():
     assert c.as_dict() == {"x": 6, "y": 2}
 
 
+def test_counters_mapping_protocol():
+    c = Counters()
+    c.add("x", 5)
+    c.add("y", 2)
+    assert "x" in c and "missing" not in c
+    assert sorted(c.items()) == [("x", 5), ("y", 2)]
+    assert len(c) == 2
+    assert sorted(c) == ["x", "y"]
+    # __getitem__ mirrors get(): missing keys read as 0, never KeyError
+    assert c["missing"] == 0 == c.get("missing")
+
+
 def test_run_result_access():
     r = RunResult("w", "1b", 123, {"a": 1})
     assert r["a"] == 1
     assert r["missing"] == 0
     assert "1b" in repr(r)
+
+
+def test_run_result_delegates_to_stats():
+    r = RunResult("w", "1b", 123, {"a": 1, "b": 2})
+    assert "a" in r and "missing" not in r
+    assert r.get("a") == 1
+    assert r.get("missing") == 0
+    assert r.get("missing", None) is None
+    assert sorted(r.items()) == [("a", 1), ("b", 2)]
