@@ -68,6 +68,9 @@ def main(argv=None):
                          "by more than --tolerance")
     ap.add_argument("--tolerance", type=float, default=0.05,
                     help="allowed relative ratio increase (default 0.05)")
+    ap.add_argument("--bench-json", metavar="PATH",
+                    help="merge the measurements into a bigvlittle-bench-v1 "
+                         "results file (CI artifact)")
     args = ap.parse_args(argv)
 
     off, on = measure(args.repeats)
@@ -84,6 +87,16 @@ def main(argv=None):
             json.dump(payload, f, indent=2)
             f.write("\n")
         print(f"recorded baseline to {args.record}")
+    if args.bench_json:
+        from bench_pipeview_overhead import emit_bench_json
+
+        emit_bench_json(
+            args.bench_json, "obs_overhead",
+            {"off_ms": round(off * 1000, 3), "on_ms": round(on * 1000, 3),
+             "off_on_ratio": round(ratio, 4)},
+            {"system": SYSTEM, "workload": WORKLOAD, "scale": SCALE,
+             "repeats": args.repeats})
+        print(f"merged results into {args.bench_json}")
     if args.check:
         with open(args.check) as f:
             base = json.load(f)["off_on_ratio"]

@@ -1,0 +1,159 @@
+"""Benchmark + CI guard: pipeview/sampler must be free when not requested.
+
+Not collected by pytest (no ``test_`` prefix) — run directly:
+
+    PYTHONPATH=src python benchmarks/bench_pipeview_overhead.py
+    PYTHONPATH=src python benchmarks/bench_pipeview_overhead.py --record baseline.json
+    PYTHONPATH=src python benchmarks/bench_pipeview_overhead.py --check \
+        benchmarks/pipeview_overhead_baseline.json
+
+Three arms of the same (system, workload) pair, interleaved in one
+process:
+
+* **off**     — no Observation at all;
+* **shallow** — ``Observation()`` with neither pipeview nor sampler: every
+  per-instruction lifecycle hook and the run loop's sampling compare must
+  reduce to a single ``is None`` / integer check;
+* **deep**    — ``Observation(pipeview=PipeView(), sampler=IntervalSampler())``
+  doing full instruction-grain tracking and interval sampling.
+
+Absolute wall time is machine-dependent, so the guard checks the
+machine-relative **off/deep** and **shallow/deep** ratios. If lifecycle
+tracking work leaks onto the off or shallow paths (allocating records,
+formatting labels, sampling when no sampler is attached), those arms creep
+toward the deep time and the ratios rise; ``--check`` fails when either
+exceeds its recorded baseline by more than ``--tolerance`` (default 5%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.experiments.runner import _program_for
+from repro.obs import IntervalSampler, Observation, PipeView
+from repro.soc import System, preset
+from repro.workloads import get_workload
+
+SYSTEM = "1b-4VL"
+WORKLOAD = "saxpy"
+SCALE = "small"
+SAMPLER_INTERVAL = 100
+
+
+def _make_obs(arm):
+    if arm == "off":
+        return None
+    if arm == "shallow":
+        return Observation()
+    return Observation(pipeview=PipeView(),
+                       sampler=IntervalSampler(SAMPLER_INTERVAL))
+
+
+def _one_run(arm):
+    cfg = preset(SYSTEM)
+    program = _program_for(cfg, get_workload(WORKLOAD, SCALE))
+    system = System(cfg)
+    obs = _make_obs(arm)
+    t0 = time.perf_counter()
+    system.run(program, obs=obs)
+    return time.perf_counter() - t0
+
+
+def measure(repeats):
+    """Best-of-``repeats`` wall time per arm, interleaved so frequency
+    scaling and cache warmth hit all arms equally."""
+    best = {"off": float("inf"), "shallow": float("inf"), "deep": float("inf")}
+    for arm in best:
+        _one_run(arm)  # warm imports, traces, and branch predictors
+    for _ in range(repeats):
+        for arm in best:
+            best[arm] = min(best[arm], _one_run(arm))
+    return best
+
+
+def emit_bench_json(path, name, metrics, meta):
+    """Merge one result into a ``bigvlittle-bench-v1`` results file."""
+    doc = {"schema": "bigvlittle-bench-v1", "results": []}
+    if os.path.exists(path):
+        with open(path) as f:
+            loaded = json.load(f)
+        if loaded.get("schema") == "bigvlittle-bench-v1":
+            doc = loaded
+    doc["results"] = [r for r in doc.get("results", []) if r.get("name") != name]
+    doc["results"].append({"name": name, "metrics": metrics, "meta": meta})
+    doc["results"].sort(key=lambda r: r["name"])
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repeats", type=int, default=5)
+    ap.add_argument("--record", metavar="PATH",
+                    help="write the measured ratios as the new baseline")
+    ap.add_argument("--check", metavar="PATH",
+                    help="fail (exit 1) if a ratio exceeds this baseline "
+                         "by more than --tolerance")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed relative ratio increase (default 0.05)")
+    ap.add_argument("--bench-json", metavar="PATH",
+                    help="merge the measurements into a bigvlittle-bench-v1 "
+                         "results file (CI artifact)")
+    args = ap.parse_args(argv)
+
+    best = measure(args.repeats)
+    off, shallow, deep = best["off"], best["shallow"], best["deep"]
+    ratios = {"off_deep_ratio": round(off / deep, 4),
+              "shallow_deep_ratio": round(shallow / deep, 4)}
+    print(f"{WORKLOAD}@{SCALE} on {SYSTEM}, best of {args.repeats}:")
+    print(f"  obs off          : {off * 1000:8.1f} ms")
+    print(f"  obs shallow      : {shallow * 1000:8.1f} ms  (no pipeview/sampler)")
+    print(f"  obs deep         : {deep * 1000:8.1f} ms  (pipeview + sampler)")
+    print(f"  off/deep         : {ratios['off_deep_ratio']:.3f}")
+    print(f"  shallow/deep     : {ratios['shallow_deep_ratio']:.3f}")
+
+    if args.record:
+        payload = {"system": SYSTEM, "workload": WORKLOAD, "scale": SCALE,
+                   "repeats": args.repeats, **ratios}
+        with open(args.record, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        print(f"recorded baseline to {args.record}")
+    if args.bench_json:
+        emit_bench_json(
+            args.bench_json, "pipeview_overhead",
+            {"off_ms": round(off * 1000, 3),
+             "shallow_ms": round(shallow * 1000, 3),
+             "deep_ms": round(deep * 1000, 3), **ratios},
+            {"system": SYSTEM, "workload": WORKLOAD, "scale": SCALE,
+             "repeats": args.repeats})
+        print(f"merged results into {args.bench_json}")
+
+    rc = 0
+    if args.check:
+        with open(args.check) as f:
+            base = json.load(f)
+        for key in ("off_deep_ratio", "shallow_deep_ratio"):
+            limit = base[key] * (1.0 + args.tolerance)
+            got = ratios[key]
+            verdict = "OK" if got <= limit else "FAIL"
+            print(f"  guard {key:<18}: {got:.3f} vs limit {limit:.3f} "
+                  f"(baseline {base[key]:.3f} +{args.tolerance:.0%}) -> {verdict}")
+            if got > limit:
+                rc = 1
+        if rc:
+            print("pipeview/sampler-off overhead regression: an arm without "
+                  "instruction-grain tracking slowed down relative to the "
+                  "deep arm; check for lifecycle work not gated behind "
+                  "`if self._pv is not None` / the sampler's next_sample "
+                  "compare.")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,13 @@ _IVU_FU = {
 }
 
 
+def _pv_label(ins):
+    """Short disassembly-style label for pipeline-viewer records."""
+    if ins.is_vector:
+        return f"{VOp(ins.op).name} vl={ins.vl} ew={ins.ew}"
+    return Op(ins.op).name
+
+
 class _Entry:
     __slots__ = (
         "ins",
@@ -63,6 +70,7 @@ class _Entry:
         "pending_chunks",
         "is_store",
         "is_branch",
+        "pv",
     )
 
     def __init__(self, ins):
@@ -75,6 +83,7 @@ class _Entry:
         self.pending_chunks = 0
         self.is_store = False
         self.is_branch = False
+        self.pv = None  # PipeRecord when instruction-grain tracking is on
 
 
 class BigCore:
@@ -137,9 +146,11 @@ class BigCore:
     # --------------------------------------------------------- observability
 
     obs = None  # UnitObs handle; None keeps every hook a single cheap check
+    _pv = None  # PipeView handle; None keeps lifecycle hooks a cheap check
 
     def attach_obs(self, obs):
         self.obs = obs.unit(self.core_id, "big", process="cores")
+        self._pv = obs.pipeview
         self._obs_rob = obs.metrics.histogram(
             f"{self.core_id}.rob_occupancy", (0, 8, 16, 32, 64, 96))
 
@@ -191,6 +202,8 @@ class BigCore:
 
     def _wake(self, entry, now):
         entry.completed = True
+        if entry.pv is not None:
+            self._pv.stage(entry.pv, "Cp", now)
         for c in entry.consumers:
             c.deps -= 1
             if c.deps == 0 and not c.issued:
@@ -275,6 +288,10 @@ class BigCore:
     def _dispatch(self, ins, now):
         entry = _Entry(ins)
         self._rob.append(entry)
+        if self._pv is not None:
+            entry.pv = self._pv.begin(
+                self.core_id, _pv_label(ins), now, stage="F", pc=ins.pc,
+                seq=ins.seq if ins.is_vector else None)
         if ins.is_vector:
             self.vector_instrs += 1
             if self.vector_mode == "none":
@@ -323,6 +340,8 @@ class BigCore:
             if self._try_issue_one(entry, now):
                 entry.issued = True
                 issued += 1
+                if entry.pv is not None:
+                    self._pv.stage(entry.pv, "Is", now)
             else:
                 self._ready.append(entry)
 
@@ -464,6 +483,8 @@ class BigCore:
                         break  # scalar accesses must retire first (§III-B)
                     if not self.engine.can_accept(now):
                         break
+                    if entry.pv is not None:
+                        self._pv.stage(entry.pv, "VD", now)
                     self.engine.dispatch(ins, now, self._vector_response(entry))
                     entry.dispatched = True
                     self.vector_dispatches += 1
@@ -496,6 +517,8 @@ class BigCore:
             self._rob.popleft()
             self.instrs += 1
             committed += 1
+            if entry.pv is not None:
+                self._pv.retire(entry.pv, now)
         if committed:
             self.breakdown.add(Stall.BUSY)
         else:

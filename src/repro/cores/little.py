@@ -65,9 +65,12 @@ class LittleCore:
     # --------------------------------------------------------- observability
 
     obs = None  # UnitObs handle; None keeps every hook a single cheap check
+    _pv = None  # PipeView handle; None keeps lifecycle hooks a cheap check
+    _pv_head = None  # PipeRecord of the instruction in the issue stage
 
     def attach_obs(self, obs):
         self.obs = obs.unit(self.core_id, "little", process="cores")
+        self._pv = obs.pipeview
 
     # --------------------------------------------------------------- helpers
 
@@ -147,6 +150,10 @@ class LittleCore:
                 return False
             self._head = self.source.pop()
             self._fetch(self._head, now)
+            if self._pv is not None:
+                self._pv_head = self._pv.begin(
+                    self.core_id, Op(self._head.op).name, now, stage="F",
+                    pc=self._head.pc)
 
         if self._front_avail > now:
             self._stall(Stall.MISC)  # front-end (fetch) stall
@@ -213,6 +220,10 @@ class LittleCore:
                     self._front_avail = now + (1 + self.taken_bubble) * self.period
                     self._cur_line = None
 
+        if self._pv_head is not None:
+            self._pv.stage(self._pv_head, "X", now)
+            self._pv.retire(self._pv_head, now + self.period)
+            self._pv_head = None
         self._head = None
         return True
 

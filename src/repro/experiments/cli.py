@@ -15,12 +15,22 @@ Observability (see ``docs/observability.md``):
 * ``bigvlittle trace <workload> --out trace.json`` — run one workload with
   the :mod:`repro.obs` tracer attached and export a Chrome ``trace_event``
   JSON (load it at https://ui.perfetto.dev).
-* ``bigvlittle profile <workload>`` — same run, printed as a per-unit
-  cycle-attribution stall table.
+* ``bigvlittle profile <workload> [--json PATH]`` — same run, printed as a
+  per-unit cycle-attribution stall table; ``--json`` writes the canonical
+  machine-readable run dump instead (the input of ``bigvlittle diff``).
+* ``bigvlittle pipeview <workload> --out pipe.kanata`` — instruction-grain
+  pipeline lifecycle trace in Konata (``--format kanata``) or gem5
+  O3PipeView (``--format o3``) text.
+* ``bigvlittle timeline <workload> --out timeline.csv`` — interval
+  time-series (IPC, stall mix, occupancies, MPKI, DRAM bandwidth) as CSV
+  or JSON (by extension), optionally plus Chrome counter tracks.
+* ``bigvlittle diff a.json b.json [--gate]`` — classified stat diff of two
+  run dumps; under ``--gate`` any exact mismatch or out-of-tolerance
+  timing delta exits nonzero (the CI regression gate).
 
-Both verbs always simulate fresh (never read or write the result cache:
-attaching an Observation adds ``obs.*`` keys that must not leak into
-cached results).
+All obs verbs always simulate fresh (never read or write the result
+cache: attaching an Observation adds ``obs.*`` keys that must not leak
+into cached results).
 """
 
 from __future__ import annotations
@@ -68,8 +78,10 @@ def main(argv=None):
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
-    if argv and argv[0] in ("trace", "profile"):
+    if argv and argv[0] in ("trace", "profile", "pipeview", "timeline"):
         return _obs_main(argv[0], argv[1:])
+    if argv and argv[0] == "diff":
+        return _diff_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="bigvlittle",
@@ -133,12 +145,19 @@ def main(argv=None):
     return 0
 
 
+_OBS_DESCRIPTIONS = {
+    "trace": "Export a Chrome trace_event JSON for one run",
+    "profile": "Print a per-unit cycle-attribution stall table for one run",
+    "pipeview": "Export an instruction-grain pipeline trace (Konata / "
+                "gem5 O3PipeView) for one run",
+    "timeline": "Export interval time-series (IPC, stall mix, occupancies, "
+                "MPKI, DRAM bandwidth) for one run",
+}
+
+
 def _obs_main(verb, argv):
     ap = argparse.ArgumentParser(
-        prog=f"bigvlittle {verb}",
-        description=("Export a Chrome trace_event JSON for one run"
-                     if verb == "trace" else
-                     "Print a per-unit cycle-attribution stall table for one run"))
+        prog=f"bigvlittle {verb}", description=_OBS_DESCRIPTIONS[verb])
     ap.add_argument("workload", help="workload name, e.g. saxpy, mmult, bfs")
     ap.add_argument("--system", default="1b-4VL",
                     help="system preset (default: 1b-4VL)")
@@ -148,31 +167,125 @@ def _obs_main(verb, argv):
                         help="output path (default: trace.json)")
         ap.add_argument("--max-events", type=int, default=1_000_000,
                         help="trace ring-buffer capacity (oldest events drop)")
-    else:
+    elif verb == "profile":
         ap.add_argument("--top", type=int, default=None, metavar="N",
                         help="only show the N most-stalled units")
+        ap.add_argument("--json", nargs="?", const="-", default=None,
+                        metavar="PATH",
+                        help="write the canonical run dump as JSON to PATH "
+                             "('-' or no value: stdout) instead of the table")
+    elif verb == "pipeview":
+        ap.add_argument("--out", default="pipe.kanata", metavar="PATH",
+                        help="output path (default: pipe.kanata)")
+        ap.add_argument("--format", choices=("kanata", "o3"), default=None,
+                        help="output format (default: o3 if PATH contains "
+                             "'o3', else kanata)")
+        ap.add_argument("--window", type=int, default=50_000,
+                        help="retired-instruction window; older records drop")
+    else:  # timeline
+        ap.add_argument("--out", default="timeline.csv", metavar="PATH",
+                        help="output path; .json extension switches the "
+                             "format to columnar JSON (default: timeline.csv)")
+        ap.add_argument("--interval", type=int, default=1000, metavar="CYCLES",
+                        help="sample interval in 1 GHz cycles (default: 1000)")
+        ap.add_argument("--trace", default=None, metavar="PATH",
+                        help="also write a Chrome trace JSON whose 'sampler' "
+                             "process carries the series as counter tracks")
     args = ap.parse_args(argv)
 
     from repro.experiments.runner import _program_for
-    from repro.obs import Observation
+    from repro.obs import IntervalSampler, Observation, PipeView
     from repro.soc import System, preset
     from repro.workloads import get_workload
 
     cfg = preset(args.system)
     program = _program_for(cfg, get_workload(args.workload, args.scale))
-    obs = Observation(max_events=args.max_events) if verb == "trace" else Observation()
+    if verb == "trace":
+        obs = Observation(max_events=args.max_events)
+    elif verb == "pipeview":
+        obs = Observation(pipeview=PipeView(window=args.window))
+    elif verb == "timeline":
+        obs = Observation(sampler=IntervalSampler(interval=args.interval))
+    else:
+        obs = Observation()
     t0 = time.time()
     result = System(cfg).run(program, obs=obs)
     wall = time.time() - t0
-    print(f"== {args.workload}@{args.scale} on {args.system}: "
-          f"{result.cycles} cycles (1 GHz), simulated in {wall:.1f}s ==")
+    quiet_json = verb == "profile" and args.json == "-"
+    if not quiet_json:
+        print(f"== {args.workload}@{args.scale} on {args.system}: "
+              f"{result.cycles} cycles (1 GHz), simulated in {wall:.1f}s ==")
     if verb == "trace":
         n = obs.write_chrome_trace(args.out)
         note = f", {obs.tracer.dropped} dropped" if obs.tracer.dropped else ""
         print(f"wrote {n} events to {args.out}{note} "
               f"(open at https://ui.perfetto.dev)")
+    elif verb == "pipeview":
+        pv = obs.pipeview
+        fmt = args.format or ("o3" if "o3" in args.out.lower() else "kanata")
+        if fmt == "o3":
+            n = pv.write_o3pipeview(args.out)
+            viewer = "gem5 util/o3-pipeview.py or Konata"
+        else:
+            n = pv.write_kanata(args.out)
+            viewer = "Konata (https://github.com/shioyadan/Konata)"
+        note = f", {pv.dropped} dropped" if pv.dropped else ""
+        print(f"wrote {n} instruction records to {args.out}{note} "
+              f"(open in {viewer})")
+    elif verb == "timeline":
+        sampler = obs.sampler
+        if args.out.lower().endswith(".json"):
+            n = sampler.to_json(args.out)
+        else:
+            n = sampler.to_csv(args.out)
+        print(f"wrote {n} samples ({sampler.interval}-cycle interval) "
+              f"to {args.out}")
+        if args.trace:
+            obs.write_chrome_trace(args.trace)
+            print(f"wrote counter tracks to {args.trace} "
+                  f"(open at https://ui.perfetto.dev)")
+    elif args.json is not None:
+        from repro.obs.diff import dump_result
+
+        doc = dump_result(result, extra={"workload": args.workload,
+                                         "scale": args.scale})
+        text = json.dumps(doc, indent=1, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as f:
+                f.write(text + "\n")
+            print(f"wrote run dump ({len(doc['stats'])} stats) to {args.json}")
     else:
         print(obs.profile_table(top=args.top))
+    return 0
+
+
+def _diff_main(argv):
+    ap = argparse.ArgumentParser(
+        prog="bigvlittle diff",
+        description="Classified stat diff of two run dumps "
+                    "(see bigvlittle profile --json)")
+    ap.add_argument("a", help="baseline run dump (JSON)")
+    ap.add_argument("b", help="candidate run dump (JSON)")
+    ap.add_argument("--gate", action="store_true",
+                    help="exit nonzero on any exact mismatch, missing "
+                         "non-obs key, or out-of-tolerance timing delta")
+    ap.add_argument("--rel-tol", type=float, default=0.0, metavar="FRAC",
+                    help="relative tolerance for timing-class deltas "
+                         "(default: 0.0 — bit-identical)")
+    ap.add_argument("--top", type=int, default=25, metavar="N",
+                    help="show at most N deltas (default: 25)")
+    args = ap.parse_args(argv)
+
+    from repro.obs.diff import diff_files
+
+    report = diff_files(args.a, args.b)
+    print(report.format_table(top=args.top, rel_tol=args.rel_tol))
+    if args.gate and not report.ok(args.rel_tol):
+        n = len(report.regressions(args.rel_tol)) + len(report._gated_missing())
+        print(f"GATE FAILED: {n} gated deltas (rel_tol={args.rel_tol})")
+        return 1
     return 0
 
 

@@ -27,10 +27,31 @@ Three pillars (see ``docs/observability.md``):
 * Per-unit **stall attribution** — every cycle of every ticking unit is
   classified into the Figure-7 :class:`~repro.stats.Stall` categories and
   the per-unit sums are checked against ``sim.ticks_*``.
+
+Two deeper layers opt in on top of an Observation (each ``None`` unless
+requested, and free when off):
+
+* :class:`~repro.obs.pipeview.PipeView` — instruction-grain pipeline
+  lifecycle traces (ROB, VCU µop broadcast, lane execute, VMU, VXU),
+  exported as Konata / gem5-O3PipeView text.
+* :class:`~repro.obs.sampler.IntervalSampler` — IPC / occupancy /
+  stall-mix / MPKI / DRAM-bandwidth time series every N cycles, exported
+  as Chrome counter tracks, CSV, and JSON.
+
+:mod:`repro.obs.diff` compares the canonical stat dumps of two runs with
+exact/timing/meta delta classification and drives the CLI's
+``bigvlittle diff --gate`` regression gate.
 """
 
+from repro.obs.diff import DiffReport, classify, diff_files, diff_stats, dump_result
 from repro.obs.hooks import Observation, UnitObs
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.pipeview import PipeView
+from repro.obs.sampler import IntervalSampler
 from repro.obs.tracer import Tracer
 
-__all__ = ["Observation", "UnitObs", "MetricsRegistry", "Tracer"]
+__all__ = [
+    "Observation", "UnitObs", "MetricsRegistry", "Tracer",
+    "PipeView", "IntervalSampler",
+    "DiffReport", "classify", "diff_files", "diff_stats", "dump_result",
+]

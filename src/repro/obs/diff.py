@@ -1,0 +1,191 @@
+"""Cross-run stat comparison and regression gating (``repro.obs.diff``).
+
+A run dump is the canonical machine-readable outcome of one simulation:
+``RunResult.to_dict()`` (or the superset printed by
+``bigvlittle profile --json``) — a flat ``stats`` mapping of deterministic
+integers. This module diffs two such dumps and *classifies* every delta:
+
+* **exact** — structural facts of the simulated trace (instruction and
+  µop counts, cache/DRAM access counts, ``obs.metric.*`` instruments).
+  These must be bit-identical between runs of the same configuration on
+  any simulator version; any delta is a regression.
+* **timing** — quantities measured in cycles or picoseconds (``time_ps``,
+  ``sim.ticks_*``, stall breakdowns, ``obs.cycles.*``, latency
+  histograms). A relative tolerance applies, so an intentional timing
+  refinement can pass the gate while a silent cycle-count change fails.
+* **meta** — observability bookkeeping (trace event counts, pipeview
+  window accounting, sampler sample counts). Reported, never gated.
+
+``bigvlittle diff a.json b.json [--gate]`` wraps this for the CLI and CI:
+identical runs exit 0; under ``--gate`` any exact mismatch or
+out-of-tolerance timing delta exits nonzero.
+"""
+
+from __future__ import annotations
+
+import json
+
+EXACT = "exact"
+TIMING = "timing"
+META = "meta"
+
+RUN_DUMP_SCHEMA = "bigvlittle-run-v1"
+
+#: stats-key prefixes/fragments that denote cycle-denominated quantities
+_TIMING_KEYS = frozenset(("time_ps", "cycles_1ghz", "dram_busy_cycles"))
+_META_PREFIXES = ("obs.trace.", "obs.pipeview.", "obs.sampler.")
+
+
+def classify(key):
+    """Classify one stats key as ``exact`` | ``timing`` | ``meta``."""
+    for p in _META_PREFIXES:
+        if key.startswith(p):
+            return META
+    if key in _TIMING_KEYS:
+        return TIMING
+    if key.startswith("sim.ticks_") or key.startswith("obs.cycles."):
+        return TIMING
+    if ".stall." in key or ".lane_stall." in key:
+        return TIMING
+    if "latency" in key or key.endswith("_ps"):
+        return TIMING
+    # everything else is a structural fact of the simulated trace
+    return EXACT
+
+
+class Delta:
+    """One differing stats key."""
+
+    __slots__ = ("key", "kind", "a", "b")
+
+    def __init__(self, key, kind, a, b):
+        self.key = key
+        self.kind = kind
+        self.a = a
+        self.b = b
+
+    @property
+    def rel(self):
+        """Relative magnitude of the change, in [0, 1]."""
+        denom = max(abs(self.a), abs(self.b))
+        return abs(self.a - self.b) / denom if denom else 0.0
+
+    def __repr__(self):
+        return f"<Delta {self.key} [{self.kind}] {self.a} -> {self.b}>"
+
+
+class DiffReport:
+    """Classified comparison of two run dumps."""
+
+    def __init__(self, a_name, b_name, deltas, only_a, only_b):
+        self.a_name = a_name
+        self.b_name = b_name
+        self.deltas = deltas  # [Delta], keys present in both with a != b
+        self.only_a = only_a  # keys present only in dump a
+        self.only_b = only_b  # keys present only in dump b
+
+    def identical(self):
+        return not self.deltas and not self.only_a and not self.only_b
+
+    def _gated_missing(self):
+        """Missing keys that matter: obs.* keys legitimately differ when
+        one run was observed more deeply than the other."""
+        return [k for k in self.only_a + self.only_b if not k.startswith("obs.")]
+
+    def regressions(self, rel_tol=0.0):
+        """Deltas that fail the gate at the given timing tolerance."""
+        out = [d for d in self.deltas
+               if d.kind == EXACT or (d.kind == TIMING and d.rel > rel_tol)]
+        out.sort(key=lambda d: (-d.rel, d.key))
+        return out
+
+    def ok(self, rel_tol=0.0):
+        return not self.regressions(rel_tol) and not self._gated_missing()
+
+    def counts(self):
+        c = {EXACT: 0, TIMING: 0, META: 0}
+        for d in self.deltas:
+            c[d.kind] += 1
+        return c
+
+    # ------------------------------------------------------------- rendering
+
+    def format_table(self, top=25, rel_tol=0.0):
+        lines = [f"diff: {self.a_name}  vs  {self.b_name}"]
+        if self.identical():
+            lines.append("identical: 0 deltas")
+            return "\n".join(lines)
+        c = self.counts()
+        lines.append(f"{len(self.deltas)} differing keys "
+                     f"({c[EXACT]} exact, {c[TIMING]} timing, {c[META]} meta); "
+                     f"{len(self.only_a)} only in a, {len(self.only_b)} only in b")
+        hdr = f"{'key':<44} {'class':<7} {'a':>14} {'b':>14} {'rel':>8}"
+        lines += [hdr, "-" * len(hdr)]
+        shown = sorted(self.deltas, key=lambda d: (-d.rel, d.key))[:top]
+        for d in shown:
+            flag = ""
+            if d.kind == EXACT or (d.kind == TIMING and d.rel > rel_tol):
+                flag = "  <- gate"
+            lines.append(f"{d.key:<44} {d.kind:<7} {d.a:>14} {d.b:>14} "
+                         f"{d.rel:>7.2%}{flag}")
+        if len(self.deltas) > top:
+            lines.append(f"... and {len(self.deltas) - top} more")
+        for k in self._gated_missing()[:10]:
+            side = "a" if k in self.only_a else "b"
+            lines.append(f"{k:<44} only in {side}  <- gate")
+        return "\n".join(lines)
+
+
+def diff_stats(a_stats, b_stats, a_name="a", b_name="b"):
+    """Diff two flat stats mappings into a :class:`DiffReport`."""
+    deltas = []
+    only_a, only_b = [], []
+    for k in sorted(set(a_stats) | set(b_stats)):
+        if k not in a_stats:
+            only_b.append(k)
+        elif k not in b_stats:
+            only_a.append(k)
+        elif a_stats[k] != b_stats[k]:
+            deltas.append(Delta(k, classify(k), a_stats[k], b_stats[k]))
+    return DiffReport(a_name, b_name, deltas, only_a, only_b)
+
+
+def dump_result(result, extra=None):
+    """Canonical JSON-safe dump of a :class:`~repro.stats.RunResult`."""
+    doc = {
+        "schema": RUN_DUMP_SCHEMA,
+        "name": result.name,
+        "system": result.system,
+        "cycles": result.cycles,
+        "stats": dict(result.stats),
+    }
+    if extra:
+        doc.update(extra)
+    return doc
+
+
+def load_dump(path):
+    """Load a run dump; returns ``(display_name, stats_dict)``.
+
+    Accepts the canonical run-dump schema, ``RunResult.to_dict()`` output,
+    ``bigvlittle profile --json`` output, or a bare flat stats mapping.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    stats = doc.get("stats", doc)
+    if not isinstance(stats, dict) or not stats:
+        raise ValueError(f"{path}: no 'stats' mapping found")
+    name = doc.get("system") or doc.get("name") or path
+    wl = doc.get("workload") or (doc.get("name") if doc.get("system") else None)
+    if doc.get("system") and wl:
+        name = f"{doc['system']}:{wl}"
+    return str(name), stats
+
+
+def diff_files(path_a, path_b):
+    """Diff two run-dump files into a :class:`DiffReport`."""
+    a_name, a_stats = load_dump(path_a)
+    b_name, b_stats = load_dump(path_b)
+    return diff_stats(a_stats, b_stats, a_name, b_name)

@@ -71,14 +71,27 @@ class UnitObs:
 
 
 class Observation:
-    """One simulation's worth of traces, metrics, and stall attribution."""
+    """One simulation's worth of traces, metrics, and stall attribution.
 
-    __slots__ = ("tracer", "metrics", "units", "_validated_ticks")
+    Two further layers are opt-in on top (each ``None`` by default, so an
+    Observation without them does zero per-instruction / per-interval
+    work):
 
-    def __init__(self, max_events=1_000_000):
+    * ``pipeview`` — a :class:`~repro.obs.pipeview.PipeView` tracking
+      per-instruction pipeline lifecycles (Konata / O3PipeView export);
+    * ``sampler`` — an :class:`~repro.obs.sampler.IntervalSampler`
+      snapshotting IPC / occupancy / stall-mix time series every N cycles.
+    """
+
+    __slots__ = ("tracer", "metrics", "units", "pipeview", "sampler",
+                 "_validated_ticks")
+
+    def __init__(self, max_events=1_000_000, pipeview=None, sampler=None):
         self.tracer = Tracer(max_events)
         self.metrics = MetricsRegistry()
         self.units = {}  # name -> UnitObs
+        self.pipeview = pipeview
+        self.sampler = sampler
         self._validated_ticks = None
 
     # ----------------------------------------------------------- unit setup
@@ -127,8 +140,15 @@ class Observation:
             for cat, v in zip(STALL_NAMES, u.counts):
                 out[f"obs.cycles.{name}.{cat}"] = v
         out.update(self.metrics.as_stats())
+        # ring-buffer drop accounting is surfaced both here and in the
+        # Chrome trace metadata, so truncated traces are never silent
+        out["obs.metric.tracer.dropped"] = self.tracer.dropped
         out["obs.trace.events"] = len(self.tracer)
         out["obs.trace.dropped"] = self.tracer.dropped
+        if self.pipeview is not None:
+            out.update(self.pipeview.stats_dict())
+        if self.sampler is not None:
+            out.update(self.sampler.stats_dict())
         return out
 
     # ---------------------------------------------------------------- trace

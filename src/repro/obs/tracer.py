@@ -109,6 +109,8 @@ class Tracer:
             "otherData": {
                 "source": "repro big.VLITTLE simulator",
                 "time_unit": "1 trace us = 1 simulated ns (1 cycle at 1 GHz)",
+                "events": len(self.events),
+                "max_events": self.max_events,
                 "dropped_events": self.dropped,
             },
         }

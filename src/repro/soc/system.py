@@ -158,6 +158,8 @@ class System:
         if self.engine is not None:
             self.engine.attach_obs(obs)
         self.ms.attach_obs(obs)
+        if obs.sampler is not None:
+            obs.sampler.attach(self, obs)
 
     def run(self, program=None, max_ns=50_000_000, quiet=True, obs=None):
         """Simulate to completion; returns a :class:`RunResult`."""
@@ -174,6 +176,9 @@ class System:
         t_big = t_little = t_mem = 0
         t = 0
         max_ps = max_ns * 1000
+        # interval sampling: with no sampler the loop pays one int compare
+        sampler = self.obs.sampler if self.obs is not None else None
+        next_sample = sampler.interval_ps if sampler is not None else max_ps + 1
         last_progress_check = 0
         last_instrs = -1
         self._ticks_big = self._ticks_little = self._ticks_mem = 0
@@ -200,6 +205,9 @@ class System:
                 ms.tick(t)
                 t_mem += pm
                 self._ticks_mem += 1
+            if t >= next_sample:
+                sampler.sample(t)
+                next_sample = t + sampler.interval_ps
             if self._done():
                 return self._result(t + max(pb, pl, pm))
             # watchdog (window must exceed any legitimate idle period,
@@ -254,6 +262,10 @@ class System:
             stats.update(self.runtime.stats())
         stats.update(self.ms.stats())
         if self.obs is not None:
+            if self.obs.sampler is not None:
+                # close the final (partial) interval so short runs still
+                # produce at least one sample
+                self.obs.sampler.sample(t_ps)
             self.obs.validate({
                 "big": self._ticks_big,
                 "little": self._ticks_little,

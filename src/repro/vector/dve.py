@@ -90,9 +90,11 @@ class DecoupledVectorEngine:
     # --------------------------------------------------------- observability
 
     obs = None  # UnitObs handle; None keeps every hook a single cheap check
+    _pv = None  # PipeView handle; None keeps lifecycle hooks a cheap check
 
     def attach_obs(self, obs):
         self.obs = obs.unit("dve", "big", process="vector")
+        self._pv = obs.pipeview
         self._obs_inflight = obs.metrics.gauge("dve.inflight_lines")
 
     # ------------------------------------------------------------- interface
@@ -112,7 +114,12 @@ class DecoupledVectorEngine:
             if respond:
                 respond(now + 2 * self.period)
             return
-        self._cmdq.append([ins, respond, False])  # [ins, respond, started]
+        entry = [ins, respond, False, None]  # [ins, respond, started, pv]
+        if self._pv is not None:
+            entry[3] = self._pv.begin(
+                "dve", f"{VOp(ins.op).name} s{ins.seq}", now, stage="Q",
+                pc=ins.pc, parent=self._pv.seq_record(ins.seq))
+        self._cmdq.append(entry)
         if VOP_IS_LOAD[ins.op]:
             # decoupling: begin fetching lines immediately
             lines = self._lines_of(ins)
@@ -186,14 +193,14 @@ class DecoupledVectorEngine:
                 return Stall.BUSY  # head executing over its chimes
         if not self._cmdq:
             return Stall.MISC
-        ins, respond, started = self._cmdq[0]
+        ins, respond, started, _pv_rec = self._cmdq[0]
         cls = VOP_CLASS[ins.op]
         nchimes = max(1, ceil_div(max(ins.vl, 1), self.lanes))
 
         P = self.period
         if ins.op == VOp.VMFENCE:
             if self._inflight == 0 and self._store_outstanding == 0 and not self._pending_reqs:
-                self._finish(now + P)
+                self._finish(now, now + P)
                 return Stall.BUSY
             return Stall.RAW_MEM  # fence draining outstanding lines
         # register dependences
@@ -213,7 +220,7 @@ class DecoupledVectorEngine:
             self._pipe_free = done
             self._loadq_used -= tr.lines
             del self._trackers[ins.seq]
-            self._finish(done)
+            self._finish(now, done)
             return Stall.BUSY
         if VOP_IS_STORE[ins.op]:
             lines = self._lines_of(ins)
@@ -227,7 +234,7 @@ class DecoupledVectorEngine:
                 self.store_line_reqs += 1
             done = now + nchimes * P
             self._pipe_free = done
-            self._finish(done)
+            self._finish(now, done)
             return Stall.BUSY
         if cls in (VClass.CROSS_PERM, VClass.CROSS_RED):
             lat = (max(ins.vl, 1) + DEFAULT_LATENCY[FUClass.FPU]) * P
@@ -236,7 +243,7 @@ class DecoupledVectorEngine:
             self._pipe_free = done
             if respond:
                 respond(done + 2 * P)
-            self._finish(done)
+            self._finish(now, done)
             return Stall.BUSY
         # plain arithmetic: chime-pipelined over the wide lanes
         fu = _CLS_FU.get(cls, FUClass.ALU)
@@ -248,13 +255,17 @@ class DecoupledVectorEngine:
         self._pipe_free = done
         if respond:
             respond(done + lat + 2 * P)
-        self._finish(done)
+        self._finish(now, done)
         return Stall.BUSY
 
-    def _finish(self, at):
+    def _finish(self, now, at):
         """Mark the head instruction as started; it pops when ``at`` passes."""
-        self._cmdq[0][2] = True
+        head = self._cmdq[0]
+        head[2] = True
         self._pop_at = at
+        if head[3] is not None:
+            self._pv.stage(head[3], "X", now)
+            self._pv.retire(head[3], at)
 
     # head popping folded into tick entry to keep the FSM tiny
     _pop_at = -1

@@ -77,13 +77,15 @@ _CLS_FU = {
 
 
 class Uop:
-    __slots__ = ("kind", "ins", "chime", "lane_only")
+    __slots__ = ("kind", "ins", "chime", "lane_only", "pv", "pv_left")
 
     def __init__(self, kind, ins, chime=0, lane_only=None):
         self.kind = kind
         self.ins = ins
         self.chime = chime
         self.lane_only = lane_only  # None = broadcast to all lanes
+        self.pv = None  # PipeRecord when instruction-grain tracking is on
+        self.pv_left = 0  # target lanes that have not yet issued this µop
 
 
 class Lane:
@@ -115,6 +117,12 @@ class Lane:
         if status is None:
             self.latch = None
             self.uops_issued += 1
+            if uop.pv is not None:
+                uop.pv_left -= 1
+                if uop.pv_left <= 0:
+                    pv = self.engine._pv
+                    pv.stage(uop.pv, "Lx", now)
+                    pv.retire(uop.pv, now + self.engine.period)
             return "busy"
         return status
 
@@ -274,9 +282,11 @@ class VLittleEngine:
     # --------------------------------------------------------- observability
 
     obs = None  # VCU UnitObs; None keeps every hook a single cheap check
+    _pv = None  # PipeView handle; None keeps lifecycle hooks a cheap check
 
     def attach_obs(self, obs):
         self.obs = obs.unit("vcu", "little", process="vector")
+        self._pv = obs.pipeview
         self._lane_obs = [obs.unit(f"vcu.lane{i}", "little", process="vector")
                           for i in range(self.lanes_count)]
         self._obs_uopq = obs.metrics.histogram(
@@ -348,7 +358,12 @@ class VLittleEngine:
             return
         if op == VOp.VMFENCE:
             self._fences_pending += 1
-            self._uopq.append(Uop(FENCE_MARK, ins))
+            fence = Uop(FENCE_MARK, ins)
+            if self._pv is not None:
+                fence.pv = self._pv.begin(
+                    "vcu", f"fence s{ins.seq}", now, stage="Q", pc=ins.pc,
+                    parent=self._pv.seq_record(ins.seq))
+            self._uopq.append(fence)
             return
         if ins.rs:
             self._dataq_used += 1
@@ -389,6 +404,12 @@ class VLittleEngine:
                 Stall.RAW_LLFU if DEFAULT_LATENCY[fu] >= 3 else Stall.MISC
             )
             uops = [Uop(EXEC, ins, c) for c in range(nch)]
+        if self._pv is not None:
+            parent = self._pv.seq_record(ins.seq)
+            for u in uops:
+                u.pv = self._pv.begin(
+                    "vcu", f"{UOP_NAMES[u.kind]} s{ins.seq}.c{u.chime}", now,
+                    stage="Q", pc=ins.pc, parent=parent)
         self._uopq.extend(uops)
         if ins.rs:
             if uops:
@@ -473,6 +494,8 @@ class VLittleEngine:
         if uop.kind == FENCE_MARK:
             if self.vmu.idle() and all(l.latch is None for l in self.lanes):
                 self._uopq.popleft()
+                if uop.pv is not None:
+                    self._pv.retire(uop.pv, now)
                 self._fences_pending -= 1
                 if self._fences_pending == 0:
                     for ins in self._fence_buffer:
@@ -484,7 +507,7 @@ class VLittleEngine:
                 return Stall.XELEM
             if uop.kind == VXREAD and (not self.vxu.busy()):
                 c = self._cross[uop.ins.seq]
-                self.vxu.start(uop.ins.seq, c["nelems"], c["reads"])
+                self.vxu.start(uop.ins.seq, c["nelems"], c["reads"], now=now)
         targets = self.lanes if uop.lane_only is None else [self.lanes[uop.lane_only]]
         if any(l.latch is not None for l in targets):
             return Stall.SIMD
@@ -493,6 +516,9 @@ class VLittleEngine:
             l.avail = now + self.period
         self._uopq.popleft()
         self._bcast_issued = True
+        if uop.pv is not None:
+            self._pv.stage(uop.pv, "Bc", now)
+            uop.pv_left = len(targets)
         if self.obs is not None:
             self.obs.instant(f"uop:{UOP_NAMES[uop.kind]}", now,
                              {"seq": uop.ins.seq, "chime": uop.chime})

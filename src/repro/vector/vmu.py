@@ -31,7 +31,7 @@ _INF = 1 << 60
 
 class LineReq:
     __slots__ = ("rid", "line", "is_write", "seq", "deliveries", "data_ready",
-                 "store_data_at", "nelems")
+                 "store_data_at", "nelems", "pv")
 
     def __init__(self, rid, line, is_write, seq, deliveries, nelems):
         self.rid = rid
@@ -42,13 +42,14 @@ class LineReq:
         self.data_ready = None  # loads: cycle line data arrived from the L1D
         self.store_data_at = None  # stores: cycle the VSU assembled the data
         self.nelems = nelems
+        self.pv = None  # PipeRecord when instruction-grain tracking is on
 
 
 class _MemCmd:
     """Per-instruction bookkeeping created when the VCU registers a memory op."""
 
     __slots__ = ("ins", "lines", "next_line", "indexed", "addr_credits",
-                 "next_elem", "elem_lines", "elem_cl")
+                 "next_elem", "elem_lines", "elem_cl", "pv_parent")
 
     def __init__(self, ins, lines, indexed, elem_lines, elem_cl):
         self.ins = ins
@@ -59,6 +60,7 @@ class _MemCmd:
         self.next_elem = 0
         self.elem_lines = elem_lines  # indexed: per-element line addr
         self.elem_cl = elem_cl  # per-element (chime, lane)
+        self.pv_parent = None  # dispatching PipeRecord, captured at register()
 
 
 class VectorMemoryUnit:
@@ -80,9 +82,11 @@ class VectorMemoryUnit:
     # --------------------------------------------------------- observability
 
     obs = None  # VMIU UnitObs; None keeps every hook a single cheap check
+    _pv = None  # PipeView handle; None keeps lifecycle hooks a cheap check
 
     def attach_obs(self, obs):
         self.obs = obs.unit("vmu", "little", process="vector")
+        self._pv = obs.pipeview
         self._obs_coalesce = obs.metrics.histogram(
             "vmu.coalesce_elems", (1, 2, 4, 8, 16, 32))
         for v in self.vmsus:
@@ -116,6 +120,10 @@ class VectorMemoryUnit:
         if cur_line is not None:
             lines.append((cur_line, cur_deliv, cur_n))
         cmd = _MemCmd(ins, lines, indexed, elem_lines, elem_cl)
+        if self._pv is not None:
+            # capture the dispatching record now — by the time the VMIU
+            # issues this command's lines the ROB entry may have retired
+            cmd.pv_parent = self._pv.seq_record(ins.seq)
         self._cmdq.append(cmd)
         # per-(chime, lane) element counts drive the lanes' LDWB/STDATA µops
         expected = {}
@@ -172,6 +180,10 @@ class VectorMemoryUnit:
             return Stall.STRUCT  # target slice's input queue is full
         req = LineReq(self._rid, line, is_write,
                       cmd.ins.seq, list(deliveries.items()), nelems)
+        if self._pv is not None:
+            req.pv = self._pv.begin(
+                "vmu", f"{'st' if is_write else 'ld'} 0x{line:x} s{cmd.ins.seq}",
+                now, stage="VM", pc=cmd.ins.pc, parent=cmd.pv_parent)
         self._rid += 1
         self.line_reqs += 1
         if is_write:
@@ -267,6 +279,8 @@ class VMSU:
             self.cam[req.line] = self.cam.get(req.line, 0) + 1
             self.sdq.append(req)
             self.inq.popleft()
+            if req.pv is not None:
+                self.vmu._pv.stage(req.pv, "SQ", now)
             return Stall.BUSY
         # load: RAW disambiguation against queued stores to the same line
         if self.cam.get(req.line):
@@ -285,6 +299,8 @@ class VMSU:
             req.data_ready = ready
         self.ldq_used += 1
         self.inq.popleft()
+        if req.pv is not None:
+            self.vmu._pv.stage(req.pv, "L1", now)
         return Stall.BUSY
 
     def _fill_waiter(self, req):
@@ -312,6 +328,10 @@ class VMSU:
         self._port_cycle = now
         if res == HIT:
             self._store_fills -= 1
+        if req.pv is not None:
+            pv = self.vmu._pv
+            pv.stage(req.pv, "L1", now)
+            pv.retire(req.pv, now)
         self._retire_store()
         return Stall.BUSY
 
@@ -360,6 +380,8 @@ class VLU:
             self.engine.deliver_load(req.seq, chime, lane, count,
                                      now + self.engine.period)
         self.pending.popleft()
+        if req.pv is not None:
+            self.engine.vmu._pv.retire(req.pv, now + self.engine.period)
         # free the slice's SRAM load-queue entry
         bank = self.engine.vmu.bank_map.bank_of(req.line)
         self.engine.vmu.vmsus[bank].ldq_used -= 1

@@ -14,7 +14,8 @@ from repro.stats.breakdown import Stall
 
 
 class CrossOp:
-    __slots__ = ("seq", "nelems", "reads_needed", "reads_done", "complete_at")
+    __slots__ = ("seq", "nelems", "reads_needed", "reads_done", "complete_at",
+                 "pv")
 
     def __init__(self, seq, nelems, reads_needed):
         self.seq = seq
@@ -22,6 +23,7 @@ class CrossOp:
         self.reads_needed = reads_needed
         self.reads_done = 0
         self.complete_at = None
+        self.pv = None  # PipeRecord when instruction-grain tracking is on
 
 
 class VXU:
@@ -35,9 +37,11 @@ class VXU:
     # --------------------------------------------------------- observability
 
     obs = None  # UnitObs handle; None keeps every hook a single cheap check
+    _pv = None  # PipeView handle; None keeps lifecycle hooks a cheap check
 
     def attach_obs(self, obs):
         self.obs = obs.unit("vxu", "little", process="vector")
+        self._pv = obs.pipeview
         return self.obs
 
     def cycle_category(self, now):
@@ -56,10 +60,14 @@ class VXU:
     def busy(self):
         return self.active is not None
 
-    def start(self, seq, nelems, reads_needed):
+    def start(self, seq, nelems, reads_needed, now=0):
         if self.active is not None:
             raise RuntimeError("VXU already has an outstanding cross-element op")
         self.active = CrossOp(seq, nelems, max(reads_needed, 1))
+        if self._pv is not None:
+            self.active.pv = self._pv.begin(
+                "vxu", f"ring s{seq} n{nelems}", now, stage="Gt",
+                parent=self._pv.seq_record(seq))
 
     def read_arrived(self, seq, now):
         """A lane executed a vxread µop; once all arrive, the ring rotates."""
@@ -70,6 +78,9 @@ class VXU:
         if op.reads_done >= op.reads_needed:
             # full rotation: one hop per cycle for each source element
             op.complete_at = now + (op.nelems + self.extra_latency) * self.period
+            if op.pv is not None:
+                self._pv.stage(op.pv, "Rt", now)
+                self._pv.retire(op.pv, op.complete_at)
             if self.obs is not None:
                 self.obs.complete("ring_rotate", now, op.complete_at - now,
                                   {"seq": op.seq, "nelems": op.nelems})

@@ -1,0 +1,155 @@
+"""CLI observability verbs end to end: trace, profile, pipeview, timeline,
+diff.
+
+Contract: every obs verb simulates fresh, writes exactly the files it
+announces, exits 0 on success — and never reads or writes the result
+cache (attaching an Observation must not leak ``obs.*`` keys into cached
+results). ``diff --gate`` exits nonzero only on a gated regression.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.obs.pipeview import KANATA_HEADER
+
+
+def _cache_untouched(cache):
+    assert cache.hits == 0 and cache.misses == 0
+    assert cache.stats()["disk_entries"] == 0
+
+
+ARGS = ["vvadd", "--scale", "tiny"]
+
+
+def test_trace_verb(tmp_path, fresh_cache, run_spy, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", *ARGS, "--out", str(out)]) == 0
+    assert run_spy["n"] == 1
+    doc = json.loads(out.read_text())
+    assert doc["traceEvents"]
+    assert doc["otherData"]["dropped_events"] == 0
+    assert "perfetto" in capsys.readouterr().out
+    _cache_untouched(fresh_cache)
+
+
+def test_profile_verb(fresh_cache, run_spy, capsys):
+    assert main(["profile", *ARGS]) == 0
+    assert run_spy["n"] == 1
+    out = capsys.readouterr().out
+    assert "unit" in out and "vcu" in out
+    _cache_untouched(fresh_cache)
+
+
+def test_profile_json_file(tmp_path, fresh_cache, run_spy):
+    out = tmp_path / "run.json"
+    assert main(["profile", *ARGS, "--json", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "bigvlittle-run-v1"
+    assert doc["workload"] == "vvadd"
+    assert doc["stats"]["cycles_1ghz"] == doc["cycles"]
+    assert any(k.startswith("obs.cycles.") for k in doc["stats"])
+    _cache_untouched(fresh_cache)
+
+
+def test_profile_json_stdout(fresh_cache, capsys):
+    assert main(["profile", *ARGS, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "bigvlittle-run-v1"
+    _cache_untouched(fresh_cache)
+
+
+def test_pipeview_verb_kanata(tmp_path, fresh_cache, run_spy, capsys):
+    out = tmp_path / "pipe.kanata"
+    assert main(["pipeview", *ARGS, "--out", str(out)]) == 0
+    assert run_spy["n"] == 1
+    lines = out.read_text().splitlines()
+    assert lines[0] == KANATA_HEADER
+    assert any(ln.startswith("I\t") for ln in lines)
+    assert any(ln.startswith("R\t") for ln in lines)
+    assert "instruction records" in capsys.readouterr().out
+    _cache_untouched(fresh_cache)
+
+
+def test_pipeview_verb_o3_format(tmp_path, fresh_cache):
+    out = tmp_path / "pipe.txt"
+    assert main(["pipeview", *ARGS, "--out", str(out), "--format", "o3"]) == 0
+    lines = out.read_text().splitlines()
+    assert lines and all(ln.startswith("O3PipeView:") for ln in lines)
+    assert lines[0].startswith("O3PipeView:fetch:")
+    _cache_untouched(fresh_cache)
+
+
+def test_pipeview_window_drops_are_reported(tmp_path, fresh_cache, capsys):
+    out = tmp_path / "pipe.kanata"
+    assert main(["pipeview", *ARGS, "--out", str(out), "--window", "8"]) == 0
+    assert "dropped" in capsys.readouterr().out
+    _cache_untouched(fresh_cache)
+
+
+def test_timeline_verb_csv(tmp_path, fresh_cache, run_spy, capsys):
+    out = tmp_path / "tl.csv"
+    assert main(["timeline", *ARGS, "--out", str(out),
+                 "--interval", "200"]) == 0
+    assert run_spy["n"] == 1
+    header, *rows = out.read_text().splitlines()
+    assert header.split(",")[0] == "cycle" and rows
+    assert "samples" in capsys.readouterr().out
+    _cache_untouched(fresh_cache)
+
+
+def test_timeline_verb_json_and_trace(tmp_path, fresh_cache):
+    out = tmp_path / "tl.json"
+    trace = tmp_path / "counters.json"
+    assert main(["timeline", *ARGS, "--out", str(out),
+                 "--trace", str(trace)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "bigvlittle-timeline-v1"
+    assert doc["samples"] >= 1
+    cdoc = json.loads(trace.read_text())
+    assert any(e.get("ph") == "C" for e in cdoc["traceEvents"])
+    _cache_untouched(fresh_cache)
+
+
+# ----------------------------------------------------------------- diffing
+
+
+@pytest.fixture
+def two_dumps(tmp_path, fresh_cache):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    assert main(["profile", *ARGS, "--json", str(a)]) == 0
+    assert main(["profile", *ARGS, "--json", str(b)]) == 0
+    return str(a), str(b)
+
+
+def test_diff_identical_runs(two_dumps, fresh_cache, capsys):
+    a, b = two_dumps
+    assert main(["diff", a, b]) == 0
+    assert "identical: 0 deltas" in capsys.readouterr().out
+    assert main(["diff", a, b, "--gate"]) == 0
+    _cache_untouched(fresh_cache)
+
+
+def test_diff_gate_fails_across_configs(two_dumps, tmp_path, fresh_cache,
+                                        capsys):
+    a, _ = two_dumps
+    c = tmp_path / "c.json"
+    assert main(["profile", *ARGS, "--system", "1bDV", "--json", str(c)]) == 0
+    assert main(["diff", a, str(c)]) == 0  # report-only never gates
+    assert main(["diff", a, str(c), "--gate"]) == 1
+    assert "GATE FAILED" in capsys.readouterr().out
+    _cache_untouched(fresh_cache)
+
+
+def test_diff_gate_tolerance(two_dumps, tmp_path, capsys):
+    a, _ = two_dumps
+    doc = json.loads(open(a).read())
+    doc["stats"]["cycles_1ghz"] = int(doc["stats"]["cycles_1ghz"] * 1.01)
+    doc["stats"]["time_ps"] = doc["stats"]["cycles_1ghz"] * 1000
+    b = tmp_path / "drift.json"
+    b.write_text(json.dumps(doc))
+    assert main(["diff", a, str(b), "--gate"]) == 1
+    assert main(["diff", a, str(b), "--gate", "--rel-tol", "0.05"]) == 0
+    capsys.readouterr()

@@ -1,0 +1,137 @@
+"""Interval time-series sampling: series consistency + exports.
+
+The acceptance contract (docs/observability.md):
+
+* a sampled run yields at least one sample, with every column the same
+  length and per-interval deltas that sum back to the run totals;
+* CSV and JSON exports round-trip mechanically;
+* the sampler's series land as Chrome ``counter`` events on a dedicated
+  ``sampler`` process;
+* attaching a sampler never changes any pre-existing (non-``obs.*``) stat.
+"""
+
+import csv
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.runner import _program_for
+from repro.obs import IntervalSampler, Observation
+from repro.soc import System, preset
+from repro.stats import STALL_NAMES
+from repro.workloads import get_workload
+
+
+def _run(system_name, workload, obs=None):
+    cfg = preset(system_name)
+    program = _program_for(cfg, get_workload(workload, "tiny"))
+    return System(cfg).run(program, obs=obs)
+
+
+@pytest.fixture(scope="module")
+def sampled_run():
+    obs = Observation(sampler=IntervalSampler(interval=200))
+    result = _run("1b-4VL", "saxpy", obs=obs)
+    return obs, result
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ConfigError):
+        IntervalSampler(interval=0)
+
+
+def test_samples_and_column_consistency(sampled_run):
+    obs, result = sampled_run
+    s = obs.sampler
+    assert s.samples > 1  # interval 200 on a multi-thousand-cycle run
+    assert result["obs.sampler.samples"] == s.samples
+    assert result["obs.sampler.interval_cycles"] == 200
+    for col in s.columns:
+        assert len(s.series(col)) == s.samples, col
+    # sampled cycle points are strictly increasing
+    cycles = s.series("cycle")
+    assert all(b > a for a, b in zip(cycles, cycles[1:]))
+
+
+def test_deltas_sum_to_run_totals(sampled_run):
+    obs, result = sampled_run
+    s = obs.sampler
+    # the final flush closes the last partial interval, so the instruction
+    # deltas tile the whole run exactly
+    assert sum(s.series("d_instrs_big")) == result["big0.instrs"]
+    total_stalls = sum(sum(s.series(f"d_stall_{n}")) for n in STALL_NAMES)
+    assert total_stalls == sum(
+        v for k, v in result.stats.items() if k.startswith("obs.cycles."))
+
+
+def test_rows_match_series(sampled_run):
+    obs, _ = sampled_run
+    s = obs.sampler
+    rows = s.rows()
+    assert len(rows) == s.samples
+    assert rows[0]["cycle"] == s.series("cycle")[0]
+
+
+def test_csv_roundtrip(sampled_run, tmp_path):
+    obs, _ = sampled_run
+    s = obs.sampler
+    path = tmp_path / "timeline.csv"
+    assert s.to_csv(str(path)) == s.samples
+    with open(path, newline="", encoding="utf-8") as f:
+        got = list(csv.DictReader(f))
+    assert len(got) == s.samples
+    assert set(got[0]) == set(s.columns)
+    assert [int(r["cycle"]) for r in got] == s.series("cycle")
+
+
+def test_json_roundtrip(sampled_run, tmp_path):
+    obs, _ = sampled_run
+    s = obs.sampler
+    path = tmp_path / "timeline.json"
+    assert s.to_json(str(path)) == s.samples
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    assert doc["schema"] == "bigvlittle-timeline-v1"
+    assert doc["samples"] == s.samples
+    assert doc["columns"] == s.columns
+    assert doc["series"]["d_cycles"] == s.series("d_cycles")
+
+
+def test_counter_tracks_in_chrome_trace(sampled_run):
+    obs, _ = sampled_run
+    doc = obs.chrome_trace()
+    procs = {e["pid"]: e["args"]["name"] for e in doc["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    sampler_pids = {pid for pid, name in procs.items() if name == "sampler"}
+    assert sampler_pids
+    counters = {e["name"] for e in doc["traceEvents"]
+                if e["ph"] == "C" and e["pid"] in sampler_pids}
+    for want in ("ipc_big", "uopq", "l2_mpki", "dram_gbps"):
+        assert want in counters, want
+
+
+def test_sampler_off_stats_bit_identical(sampled_run):
+    _, with_sampler = sampled_run
+    without = _run("1b-4VL", "saxpy")
+    shared = {k: v for k, v in with_sampler.stats.items()
+              if not k.startswith("obs.")}
+    assert shared == without.stats
+
+
+def test_sampler_is_deterministic():
+    a = Observation(sampler=IntervalSampler(interval=300))
+    b = Observation(sampler=IntervalSampler(interval=300))
+    _run("1b-4VL", "vvadd", obs=a)
+    _run("1b-4VL", "vvadd", obs=b)
+    assert a.sampler.as_dict() == b.sampler.as_dict()
+
+
+def test_dve_occupancy_columns():
+    obs = Observation(sampler=IntervalSampler(interval=100))
+    _run("1bDV", "saxpy", obs=obs)
+    s = obs.sampler
+    assert s.samples > 0
+    # on a 1bDV system the queue columns track the DVE's cmdq / lines
+    assert max(s.series("uopq") + s.series("dataq") + [0]) >= 0
+    assert sum(s.series("d_instrs_big")) > 0
