@@ -1,0 +1,206 @@
+"""Benchmark + CI guard: quiescence skipping must pay for itself.
+
+Not collected by pytest (no ``test_`` prefix) — run directly:
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py --record baseline.json
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py --check \
+        benchmarks/sim_throughput_baseline.json
+
+Each (workload, system) pair runs two interleaved arms of the same
+simulation:
+
+* **on**  — the quiescence-skipping scheduler enabled (the default);
+* **off** — ``run(..., skip=False)``, grinding through every tick.
+
+Both arms produce bit-identical stats apart from the ``sim.ticks_*``
+executed/skipped split, so their wall-time ratio isolates the scheduler.
+The workload grid covers the three regimes the scheduler was built for:
+
+* ``saxpy``         — a dense vector kernel (little idle time; the guard
+  checks skipping never *costs* throughput here);
+* ``switch_thrash`` — many short vector regions, each paying the §III-B
+  mode-switch penalty: long fully-idle spans on the VLITTLE system;
+* ``dram_chain``    — a dependent scalar miss chain with a cache-hostile
+  stride: the core blocks on DRAM for ~100-tick stretches.
+
+Absolute wall time is machine-dependent, so ``--check`` guards the
+machine-relative **off/on speedup**: the geometric mean over the whole
+grid must not fall more than ``--tolerance`` (default 10%) below its
+recorded baseline. Individual pairs are reported but not gated — single
+(workload, system) speedups swing ±15% run to run, while the geomean is
+stable to a couple of percent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+
+from repro.experiments.runner import _program_for
+from repro.soc import System, preset
+from repro.trace import TraceBuilder, VectorBuilder
+from repro.workloads import get_workload
+
+from bench_pipeview_overhead import emit_bench_json
+
+SYSTEMS = ("1b-4VL", "1bIV-4L", "1bDV")
+SCALE = "small"
+DOMAINS = ("big", "little", "mem")
+
+
+def _switch_thrash(vlen_bits, regions=80, scalar=10, nvec=16):
+    """Many tiny vector regions: on 1b-4VL every region re-pays the
+    mode-switch penalty, leaving the whole SoC idle for its duration."""
+    tb = TraceBuilder()
+    vb = VectorBuilder(tb, vlen_bits=vlen_bits)
+    for r in range(regions):
+        for _ in range(scalar):
+            tb.addi(None)
+        for base, vl in vb.strip_mine(0x300000 + r * 0x4000, n=nvec, ew=4):
+            v = vb.vle(base, vl=vl)
+            v2 = vb.vfadd(v, v)
+            vb.vse(v2, base + 0x100000, vl=vl)
+        tb.csrrw()
+    return tb.finish("switch_thrash")
+
+
+def _dram_chain(n=1000, stride=8192):
+    """Serially dependent loads at a page-ish stride: every access misses
+    the whole hierarchy and the ROB drains while DRAM serves it."""
+    tb = TraceBuilder()
+    for i in range(n):
+        r = tb.lw(0x1000000 + i * stride)
+        tb.addi(r)
+    return tb.finish("dram_chain")
+
+
+def _program(workload, cfg):
+    if workload == "switch_thrash":
+        return _switch_thrash(cfg.vlen_bits(4))
+    if workload == "dram_chain":
+        return _dram_chain()
+    return _program_for(cfg, get_workload(workload, SCALE))
+
+
+WORKLOADS = ("saxpy", "switch_thrash", "dram_chain")
+
+
+def _one_run(workload, system_name, skip):
+    cfg = preset(system_name)
+    program = _program(workload, cfg)
+    system = System(cfg)
+    t0 = time.perf_counter()
+    result = system.run(program, skip=skip)
+    wall = time.perf_counter() - t0
+    ticks = sum(result.stats[f"sim.ticks_{d}"] for d in DOMAINS)
+    skipped = sum(result.stats[f"sim.ticks_skipped_{d}"] for d in DOMAINS)
+    return wall, ticks, skipped
+
+
+def measure(repeats):
+    """Best-of-``repeats`` wall time per (workload, system, arm),
+    interleaved so frequency scaling and cache warmth hit both arms
+    equally."""
+    out = {}
+    for workload in WORKLOADS:
+        for system_name in SYSTEMS:
+            _one_run(workload, system_name, True)  # warm traces and caches
+            best = {True: float("inf"), False: float("inf")}
+            ticks = skipped = 0
+            for _ in range(repeats):
+                for skip in (True, False):
+                    wall, t, s = _one_run(workload, system_name, skip)
+                    best[skip] = min(best[skip], wall)
+                    if skip:
+                        ticks, skipped = t, s
+            total = ticks + skipped
+            out[(workload, system_name)] = {
+                "on_wall_s": best[True],
+                "off_wall_s": best[False],
+                "speedup": best[False] / best[True],
+                "on_ticks_per_s": total / best[True],
+                "off_ticks_per_s": total / best[False],
+                "skipped_frac": skipped / total if total else 0.0,
+            }
+    return out
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--record", metavar="PATH",
+                    help="write the measured speedups as the new baseline")
+    ap.add_argument("--check", metavar="PATH",
+                    help="fail (exit 1) if a speedup falls below this "
+                         "baseline by more than --tolerance")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed relative speedup drop (default 0.10)")
+    ap.add_argument("--bench-json", metavar="PATH",
+                    help="merge the measurements into a bigvlittle-bench-v1 "
+                         "results file (CI artifact)")
+    args = ap.parse_args(argv)
+
+    results = measure(args.repeats)
+    print(f"quiescence skipping, best of {args.repeats} per arm:")
+    print(f"  {'workload':14s} {'system':9s} {'on':>9s} {'off':>9s} "
+          f"{'speedup':>8s} {'skipped':>8s} {'Mticks/s':>9s}")
+    for (workload, system_name), m in results.items():
+        print(f"  {workload:14s} {system_name:9s} "
+              f"{m['on_wall_s'] * 1000:7.1f}ms {m['off_wall_s'] * 1000:7.1f}ms "
+              f"{m['speedup']:7.2f}x {m['skipped_frac']:7.1%} "
+              f"{m['on_ticks_per_s'] / 1e6:9.2f}")
+
+    speedups = {f"{w}:{s}": round(m["speedup"], 4)
+                for (w, s), m in results.items()}
+    geomean = math.exp(sum(math.log(v) for v in speedups.values())
+                       / len(speedups))
+    print(f"  geomean speedup: {geomean:.3f}x")
+    if args.record:
+        payload = {"scale": SCALE, "repeats": args.repeats,
+                   "geomean_speedup": round(geomean, 4),
+                   "speedups": speedups}
+        with open(args.record, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        print(f"recorded baseline to {args.record}")
+    if args.bench_json:
+        for (workload, system_name), m in results.items():
+            emit_bench_json(
+                args.bench_json, f"sim_throughput:{workload}:{system_name}",
+                {"on_wall_s": round(m["on_wall_s"], 5),
+                 "off_wall_s": round(m["off_wall_s"], 5),
+                 "speedup": round(m["speedup"], 4),
+                 "skipped_frac": round(m["skipped_frac"], 4),
+                 "on_ticks_per_s": round(m["on_ticks_per_s"], 1),
+                 "off_ticks_per_s": round(m["off_ticks_per_s"], 1)},
+                {"system": system_name, "workload": workload,
+                 "scale": SCALE, "repeats": args.repeats})
+        print(f"merged results into {args.bench_json}")
+
+    rc = 0
+    if args.check:
+        with open(args.check) as f:
+            base = json.load(f)
+        baseline = base["geomean_speedup"]
+        limit = baseline * (1.0 - args.tolerance)
+        verdict = "OK" if geomean >= limit else "FAIL"
+        print(f"  guard geomean speedup: {geomean:.3f}x vs limit "
+              f"{limit:.3f}x (baseline {baseline:.3f}x "
+              f"-{args.tolerance:.0%}) -> {verdict}")
+        if geomean < limit:
+            rc = 1
+        if rc:
+            print("sim-throughput regression: the quiescence-skipping "
+                  "scheduler lost ground against the forced-off loop; "
+                  "check for new per-iteration work ahead of the probe, "
+                  "next_work_ps hooks returning 0 too eagerly, or skip "
+                  "spans being clamped harder than before.")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,6 +87,17 @@ class _Entry:
 
 
 class BigCore:
+    __slots__ = (
+        "core_id", "l1i", "l1d", "source", "rob_size", "width", "vector_mode",
+        "ivu_vlen_bits", "ivu_port_bytes", "engine", "period", "predictor",
+        "fu", "store_buffer_depth", "mispredict_penalty", "_line_mask",
+        "_rob", "_ready", "_last_writer", "_vseq_entry", "_complete_at",
+        "_complete_seq", "_front_avail", "_cur_line", "_fetch_blocked_on",
+        "_sb", "_sb_waiting", "_outstanding", "breakdown", "instrs",
+        "vector_instrs", "vector_dispatches", "obs", "_pv", "_obs_rob",
+        "_ivu_port_free", "_now_hint",
+    )
+
     def __init__(
         self,
         core_id,
@@ -143,10 +154,13 @@ class BigCore:
         self.vector_instrs = 0
         self.vector_dispatches = 0
 
-    # --------------------------------------------------------- observability
+        self.obs = None  # UnitObs handle; every hook is a single cheap check
+        self._pv = None  # PipeView handle; same cheap-check discipline
+        self._obs_rob = None
+        self._ivu_port_free = 0
+        self._now_hint = 0  # updated by the system each cycle, for callbacks
 
-    obs = None  # UnitObs handle; None keeps every hook a single cheap check
-    _pv = None  # PipeView handle; None keeps lifecycle hooks a cheap check
+    # --------------------------------------------------------- observability
 
     def attach_obs(self, obs):
         self.obs = obs.unit(self.core_id, "big", process="cores")
@@ -216,6 +230,71 @@ class BigCore:
 
     def _ifill(self, line, ready):
         self._front_avail = ready
+
+    # ------------------------------------------------------- skip scheduling
+
+    def next_work_ps(self, now):
+        """Earliest future ps at which ``tick`` could do real work.
+
+        Contract (shared by every ticking unit): return 0 when the very
+        next tick would mutate state or change its stall attribution;
+        return the earliest strictly-future threshold when the unit is
+        waiting on its own timers; return ``_INF`` when quiescent or
+        blocked purely on another unit (whose own ``next_work_ps`` bounds
+        the skip). Must be side-effect free.
+        """
+        if self._sb:
+            return 0  # store-buffer drain accesses the L1D every tick
+        bound = _INF
+        heap = self._complete_at
+        if heap:
+            t = heap[0][0]
+            if t <= now:
+                return 0
+            if t < bound:
+                bound = t
+        if self._ready:
+            return 0  # issue stage retries every tick
+        if self._rob:
+            e = self._rob[0]
+            ins = e.ins
+            if e.completed:
+                return 0  # head would retire (or retry a full store buffer)
+            if (ins.is_vector and self.vector_mode == "decoupled"
+                    and not e.dispatched and e.deps == 0):
+                if not (ins.op == VOp.VMFENCE
+                        and (self._sb or self._outstanding > 0)):
+                    t = self.engine.next_accept_ps(now)
+                    if t <= now:
+                        return 0  # dispatch (or the mutating first
+                        # can_accept call) happens next tick
+                    if t < bound:
+                        bound = t
+            # any other blocked head waits on the completion heap or on
+            # another unit's activity (engine response, cache fill)
+        if (self._fetch_blocked_on is None and self.source is not None
+                and len(self._rob) < self.rob_size):
+            fa = self._front_avail
+            if fa > now:
+                if fa < bound:
+                    bound = fa
+            else:
+                src = self.source
+                if not src.pure_peek:
+                    if not src.done():
+                        return 0  # impure peek may claim work: probe on grid
+                elif src.peek() is not None:
+                    return 0  # front end would fetch next tick
+        return bound
+
+    def skip_ticks(self, n):
+        """Replay the per-tick constant effects of ``n`` provably idle
+        ticks (guaranteed by ``next_work_ps``): the commit stage charges
+        one idle-cycle attribution per cycle even when nothing moves."""
+        self.breakdown.add(Stall.MISC, n)
+        if self.obs is not None:
+            self.obs.cycle(self._commit_stall_kind(), n)
+            self._obs_rob.observe(len(self._rob), n)
 
     # ------------------------------------------------------------------ tick
 
@@ -412,8 +491,6 @@ class BigCore:
         self._schedule_completion(entry, now + lat)
         return True
 
-    _ivu_port_free = 0
-
     def _issue_ivu_mem(self, entry, now):
         ins = entry.ins
         # the IVU shares ONE data-cache port with the core (paper §IV-A):
@@ -561,8 +638,6 @@ class BigCore:
         return waiter
 
     # ----------------------------------------------------------------- stats
-
-    _now_hint = 0  # updated by the system each cycle for async callbacks
 
     def set_now_hint(self, now):
         self._now_hint = now

@@ -12,6 +12,8 @@ from __future__ import annotations
 class BimodalPredictor:
     """Per-PC 2-bit saturating counters (little-core front end)."""
 
+    __slots__ = ("_mask", "_table", "lookups", "mispredicts")
+
     def __init__(self, entries=512):
         self._mask = entries - 1
         self._table = [1] * entries  # weakly not-taken (static NT default)
@@ -36,6 +38,9 @@ class BimodalPredictor:
 
 class GsharePredictor:
     """Global-history XOR-indexed 2-bit counters (big-core front end)."""
+
+    __slots__ = ("_mask", "_table", "_hist", "_hist_mask",
+                 "lookups", "mispredicts")
 
     def __init__(self, entries=4096, history_bits=10):
         self._mask = entries - 1

@@ -91,3 +91,14 @@ class FUPool:
         if not self.can_issue(fu, now):
             return None
         return self.issue(fu, now, occupancy)
+
+    def next_free_ps(self, fu, now):
+        """Earliest future ps at which a *fresh* cycle could issue ``fu``,
+        or 0 if the very next tick can (per-cycle slot usage resets every
+        cycle, so only unpipelined busy-tracking blocks future ticks).
+        Pure — used by the quiescence-skipping scheduler."""
+        if fu in UNPIPELINED:
+            t = self._busy_until.get(fu, 0)
+            if t > now:
+                return t
+        return 0

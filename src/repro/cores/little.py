@@ -24,6 +24,15 @@ _INF = 1 << 60
 
 
 class LittleCore:
+    __slots__ = (
+        "core_id", "l1i", "l1d", "source", "period", "predictor", "fu",
+        "store_buffer_depth", "mispredict_penalty", "taken_bubble",
+        "_line_mask", "_head", "_front_avail", "_cur_line", "_regs",
+        "_reg_kind", "_sb", "_sb_waiting", "_port_busy_cycle",
+        "_outstanding_loads", "breakdown", "instrs", "active",
+        "obs", "_pv", "_pv_head",
+    )
+
     def __init__(
         self,
         core_id,
@@ -62,11 +71,11 @@ class LittleCore:
         self.instrs = 0
         self.active = True  # cleared when reconfigured as a vector lane
 
-    # --------------------------------------------------------- observability
+        self.obs = None  # UnitObs handle; every hook is a single cheap check
+        self._pv = None  # PipeView handle; same cheap-check discipline
+        self._pv_head = None  # PipeRecord of the instruction in issue
 
-    obs = None  # UnitObs handle; None keeps every hook a single cheap check
-    _pv = None  # PipeView handle; None keeps lifecycle hooks a cheap check
-    _pv_head = None  # PipeRecord of the instruction in the issue stage
+    # --------------------------------------------------------- observability
 
     def attach_obs(self, obs):
         self.obs = obs.unit(self.core_id, "little", process="cores")
@@ -120,6 +129,62 @@ class LittleCore:
             self._outstanding_loads -= 1
 
         return waiter
+
+    # ------------------------------------------------------- skip scheduling
+
+    def next_work_ps(self, now):
+        """Earliest future ps at which ``tick`` could do real work; 0 when
+        the next tick would mutate state, ``_INF`` when quiescent or
+        blocked purely on another unit. Side-effect free."""
+        if not self.active:
+            return _INF  # reconfigured as a vector lane: front end is off
+        if self._sb:
+            return 0  # store-buffer drain takes the L1D port every tick
+        if self._head is None:
+            src = self.source
+            if src is None or src.done():
+                return _INF  # idle tail; skip_ticks charges the MISC stall
+            if not src.pure_peek:
+                return 0  # impure peek may claim work: probe on grid
+            if src.peek() is not None:
+                return 0  # would fetch into the issue stage next tick
+            return _INF
+        fa = self._front_avail
+        if fa > now:
+            return fa if fa < _INF else _INF  # _INF: waiting on an I-fill
+        ins = self._head
+        for s in ins.srcs:
+            t = self._regs.get(s, 0)
+            if t > now:
+                # first unready source gates issue *and* the attribution;
+                # _INF means a load fill owned by the memory system
+                return t if t < _INF else _INF
+        if OP_FU[ins.op] == FUClass.MEM:
+            return 0  # store enters the buffer / load takes the port
+        t = self.fu.next_free_ps(OP_FU[ins.op], now)
+        return t if t else 0  # 0: issues next tick
+
+    def _idle_kind(self, now):
+        """Stall category a provably idle tick charges — mirrors the
+        early-return order of ``_try_issue`` without its side effects."""
+        if self._head is None or self._front_avail > now:
+            return Stall.MISC
+        for s in self._head.srcs:
+            if self._regs.get(s, 0) > now:
+                return self._reg_kind.get(s, Stall.MISC)
+        return Stall.STRUCT  # unpipelined FU busy: the only remaining cause
+
+    def skip_ticks(self, n, now):
+        """Replay the per-tick constant effects of ``n`` provably idle
+        ticks: exactly one stall attribution per cycle."""
+        if not self.active:
+            if self.obs is not None:
+                self.obs.cycle(Stall.MISC, n)
+            return
+        kind = self._idle_kind(now)
+        self.breakdown.add(kind, n)
+        if self.obs is not None:
+            self.obs.cycle(kind, n)
 
     # ------------------------------------------------------------------ tick
 

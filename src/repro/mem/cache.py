@@ -43,6 +43,13 @@ class _Mshr:
 class L1Cache:
     """One private L1 (instruction or data)."""
 
+    __slots__ = ("cache_id", "l2", "assoc", "line_bytes", "hit_latency",
+                 "n_mshrs", "period", "_off_bits", "_nsets", "_set_mask",
+                 "_bank_shift", "_state", "_dirty", "_lru", "_mshrs",
+                 "resp_queue", "accesses", "hits", "misses", "upgrades",
+                 "writebacks", "invalidations_received", "mshr_blocked",
+                 "obs", "_obs_track", "_obs_fill_hist")
+
     def __init__(
         self,
         cache_id,
@@ -87,9 +94,9 @@ class L1Cache:
         self.invalidations_received = 0
         self.mshr_blocked = 0
 
-    # --------------------------------------------------------- observability
+        self.obs = None  # off the hit path entirely: hooks fire only on fills
 
-    obs = None  # kept off the hit path entirely: hooks fire only on fills
+    # --------------------------------------------------------- observability
 
     def attach_obs(self, obs, fill_hist):
         self.obs = obs

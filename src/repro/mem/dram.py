@@ -13,6 +13,9 @@ from __future__ import annotations
 class DRAM:
     """Bandwidth-limited fixed-latency memory."""
 
+    __slots__ = ("latency", "line_interval", "period", "_next_free",
+                 "reads", "writes", "busy_cycles", "obs")
+
     def __init__(self, latency=80, line_interval=4, period=1):
         if latency < 1 or line_interval < 1:
             raise ValueError("latency and line_interval must be >= 1")
@@ -25,9 +28,9 @@ class DRAM:
         self.writes = 0
         self.busy_cycles = 0
 
-    # --------------------------------------------------------- observability
+        self.obs = None  # UnitObs handle; every hook is a single cheap check
 
-    obs = None  # UnitObs handle; None keeps every hook a single cheap check
+    # --------------------------------------------------------- observability
 
     def attach_obs(self, obs_unit):
         self.obs = obs_unit
@@ -35,6 +38,13 @@ class DRAM:
     def busy_at(self, now):
         """True while the channel is still serving a previous line."""
         return self._next_free > now
+
+    def next_idle_ps(self, now):
+        """ps at which ``busy_at`` flips back to idle, or 0 when already
+        idle. Pure — bounds quiescence skips so per-cycle busy/idle
+        attribution stays exact."""
+        t = self._next_free
+        return t if t > now else 0
 
     def request(self, now, is_write=False):
         """Issue one line request at cycle ``now``; returns data-ready cycle."""

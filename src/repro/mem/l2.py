@@ -23,6 +23,14 @@ from repro.utils import is_pow2, log2i
 
 
 class L2Cache:
+    __slots__ = ("dram", "assoc", "line_bytes", "nbanks", "latency",
+                 "miss_lookup_latency", "req_delay", "dirty_fwd_latency",
+                 "inv_latency", "fill_latency", "period", "_off_bits",
+                 "_nsets", "_set_mask", "_bank_mask", "_tags", "_lru",
+                 "_dir", "_bank_free", "_clients", "reads", "writes",
+                 "hits", "misses", "dirty_forwards", "invalidations_sent",
+                 "writebacks_in", "obs", "_obs_lat")
+
     def __init__(
         self,
         dram,
@@ -72,9 +80,9 @@ class L2Cache:
         self.invalidations_sent = 0
         self.writebacks_in = 0
 
-    # --------------------------------------------------------- observability
+        self.obs = None  # UnitObs handle; every hook is a single cheap check
 
-    obs = None  # UnitObs handle; None keeps every hook a single cheap check
+    # --------------------------------------------------------- observability
 
     def attach_obs(self, obs_unit, metrics):
         self.obs = obs_unit
@@ -88,6 +96,12 @@ class L2Cache:
             if b > now:
                 return True
         return False
+
+    def next_idle_ps(self, now):
+        """ps at which ``busy_at`` flips back to idle (the last in-flight
+        bank slot freeing), or 0 when already idle. Pure."""
+        t = max(self._bank_free)
+        return t if t > now else 0
 
     # ------------------------------------------------------------- clients
 

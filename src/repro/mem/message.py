@@ -44,6 +44,12 @@ class DelayQueue:
             return self._q[0][1]
         return None
 
+    def next_time(self):
+        """Ready time of the head entry, or None when empty. Pure — the
+        quiescence-skipping scheduler uses it to bound skips by the next
+        response without popping anything."""
+        return self._q[0][0] if self._q else None
+
     def __len__(self):
         return len(self._q)
 

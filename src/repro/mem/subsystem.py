@@ -8,6 +8,8 @@ from repro.mem.l2 import L2Cache
 from repro.mem.message import DelayQueue
 from repro.stats.breakdown import Stall
 
+_INF = 1 << 60
+
 
 class RawPort:
     """A non-caching L2 client port (used by the decoupled vector engine).
@@ -35,6 +37,10 @@ class RawPort:
 
 class MemorySystem:
     """DRAM + shared L2 + per-core private L1I/L1D caches."""
+
+    __slots__ = ("line_bytes", "dram", "l2", "big_l1i", "big_l1d",
+                 "little_l1i", "little_l1d", "_all_l1", "_raw_ports",
+                 "obs", "_l2_obs", "_dram_obs")
 
     def __init__(
         self,
@@ -89,6 +95,7 @@ class MemorySystem:
         self.little_l1d = [mk(f"lit{i}.l1d", False, False) for i in range(n_little)]
         self._all_l1 = self.big_l1i + self.big_l1d + self.little_l1i + self.little_l1d
         self._raw_ports = []
+        self.obs = None  # Observation handle; hooks stay a cheap None check
 
     def make_raw_port(self, port_id, resp_delay=2):
         port = RawPort(port_id, resp_delay=resp_delay)
@@ -97,8 +104,6 @@ class MemorySystem:
         return port
 
     # --------------------------------------------------------- observability
-
-    obs = None  # Observation handle; None keeps every hook a single cheap check
 
     def attach_obs(self, obs):
         self.obs = obs
@@ -119,6 +124,41 @@ class MemorySystem:
         if self.obs is not None:
             self._l2_obs.cycle(Stall.BUSY if self.l2.busy_at(now) else Stall.MISC)
             self._dram_obs.cycle(Stall.BUSY if self.dram.busy_at(now) else Stall.MISC)
+
+    # ------------------------------------------------------- skip scheduling
+
+    def next_work_ps(self, now):
+        """Earliest future ps at which a memory tick could do real work:
+        the earliest L1 fill response (raw ports are drained by their
+        owning engine, which bounds them itself), and the L2/DRAM
+        busy->idle flips so per-cycle attribution stays exact. The flip
+        bounds apply whether or not an Observation is attached — the skip
+        schedule (and with it the sim.ticks_* executed/skipped split) must
+        not change when obs is attached. Pure."""
+        bound = _INF
+        for c in self._all_l1:
+            t = c.resp_queue.next_time()
+            if t is not None:
+                if t <= now:
+                    return 0  # a fill would install next tick
+                if t < bound:
+                    bound = t
+        t = self.l2.next_idle_ps(now)
+        if t and t < bound:
+            bound = t
+        t = self.dram.next_idle_ps(now)
+        if t and t < bound:
+            bound = t
+        return bound
+
+    def skip_ticks(self, n, now):
+        """Replay ``n`` provably idle memory ticks (per-cycle busy/idle
+        attribution is the only per-tick effect, and only under obs)."""
+        if self.obs is not None:
+            self._l2_obs.cycle(
+                Stall.BUSY if self.l2.busy_at(now) else Stall.MISC, n)
+            self._dram_obs.cycle(
+                Stall.BUSY if self.dram.busy_at(now) else Stall.MISC, n)
 
     def data_requests(self):
         """Core/engine-issued data requests into the memory subsystem

@@ -10,11 +10,14 @@ integers. This module diffs two such dumps and *classifies* every delta:
   These must be bit-identical between runs of the same configuration on
   any simulator version; any delta is a regression.
 * **timing** — quantities measured in cycles or picoseconds (``time_ps``,
-  ``sim.ticks_*``, stall breakdowns, ``obs.cycles.*``, latency
-  histograms). A relative tolerance applies, so an intentional timing
-  refinement can pass the gate while a silent cycle-count change fails.
-* **meta** — observability bookkeeping (trace event counts, pipeview
-  window accounting, sampler sample counts). Reported, never gated.
+  stall breakdowns, ``obs.cycles.*``, latency histograms). A relative
+  tolerance applies, so an intentional timing refinement can pass the
+  gate while a silent cycle-count change fails.
+* **meta** — simulator/observability bookkeeping (``sim.ticks_*``
+  executed/skipped tick accounting, trace event counts, pipeview window
+  accounting, sampler sample counts). Reported, never gated: the
+  quiescence-skipping scheduler changes how many loop iterations run
+  without changing the simulated outcome.
 
 ``bigvlittle diff a.json b.json [--gate]`` wraps this for the CLI and CI:
 identical runs exit 0; under ``--gate`` any exact mismatch or
@@ -33,7 +36,7 @@ RUN_DUMP_SCHEMA = "bigvlittle-run-v1"
 
 #: stats-key prefixes/fragments that denote cycle-denominated quantities
 _TIMING_KEYS = frozenset(("time_ps", "cycles_1ghz", "dram_busy_cycles"))
-_META_PREFIXES = ("obs.trace.", "obs.pipeview.", "obs.sampler.")
+_META_PREFIXES = ("obs.trace.", "obs.pipeview.", "obs.sampler.", "sim.ticks_")
 
 
 def classify(key):
@@ -43,7 +46,7 @@ def classify(key):
             return META
     if key in _TIMING_KEYS:
         return TIMING
-    if key.startswith("sim.ticks_") or key.startswith("obs.cycles."):
+    if key.startswith("obs.cycles."):
         return TIMING
     if ".stall." in key or ".lane_stall." in key:
         return TIMING
@@ -89,8 +92,11 @@ class DiffReport:
 
     def _gated_missing(self):
         """Missing keys that matter: obs.* keys legitimately differ when
-        one run was observed more deeply than the other."""
-        return [k for k in self.only_a + self.only_b if not k.startswith("obs.")]
+        one run was observed more deeply than the other, and meta keys
+        (e.g. ``sim.ticks_skipped_*``) may appear or vanish across
+        scheduler versions without changing the simulated outcome."""
+        return [k for k in self.only_a + self.only_b
+                if not k.startswith("obs.") and classify(k) != META]
 
     def regressions(self, rel_tol=0.0):
         """Deltas that fail the gate at the given timing tolerance."""

@@ -40,13 +40,15 @@ class Gauge:
         self.hi = None
         self.samples = 0
 
-    def set(self, v):
+    def set(self, v, n=1):
+        """Record ``v``; ``n`` folds a run of identical samples (used by
+        the quiescence-skipping scheduler to compensate skipped ticks)."""
         self.last = v
         if self.lo is None or v < self.lo:
             self.lo = v
         if self.hi is None or v > self.hi:
             self.hi = v
-        self.samples += 1
+        self.samples += n
 
     def as_stats(self, prefix):
         return {

@@ -38,6 +38,10 @@ PS_PER_CYCLE = 1000
 class IntervalSampler:
     """Fixed-interval time-series snapshots of one observed run."""
 
+    __slots__ = ("interval", "interval_ps", "samples", "columns", "_series",
+                 "_sys", "_obs", "_track", "_last_ps", "_prev",
+                 "_vlittle", "_dve")
+
     def __init__(self, interval=1000):
         if interval < 1:
             raise ConfigError("sampler interval must be >= 1 cycle")

@@ -45,6 +45,11 @@ _PARALLEL = 1
 
 
 class _Worker(InstrSource):
+    # peek() may claim the next task (or barrier slice) from the shared
+    # scheduler, so probing it off the exact tick grid would reorder
+    # task-steal races; the skip scheduler must never peek a worker.
+    pure_peek = False
+
     __slots__ = ("sched", "idx", "vector_capable", "_cur")
 
     def __init__(self, sched, idx, vector_capable):
@@ -70,6 +75,12 @@ class _Worker(InstrSource):
 
 class WorkStealingRuntime:
     """Builds one :class:`InstrSource` per worker from a TaskProgram."""
+
+    __slots__ = ("program", "n_workers", "_rng", "spawn_overhead",
+                 "deque_overhead", "steal_overhead", "barrier_overhead",
+                 "workers", "_phase", "_stage", "_tasks", "_arrived",
+                 "_serial_given", "finished", "tasks_executed", "steals",
+                 "_executed_ids")
 
     def __init__(
         self,

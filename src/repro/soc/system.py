@@ -4,6 +4,17 @@ All component timing runs in integer picoseconds; each clock domain (big
 cluster, little cluster, memory) ticks its components at its own period, so
 independent big/little voltage-frequency scaling (paper §VII) falls out of
 the same simulation that produces §V's iso-frequency results.
+
+The loop is a *quiescence-skipping* scheduler: every ticking component
+exposes a pure ``next_work_ps(now)`` bound — the earliest future picosecond
+at which it could change architectural state — and when all components in
+all three domains report no work before some time ``T``, the loop
+fast-forwards each domain clock to its first tick at or after ``T`` instead
+of grinding through provably idle iterations. Skipped ticks are replayed
+into the per-cycle accounting (stall breakdowns, observability categories,
+histograms) by each component's ``skip_ticks``, so every stat except the
+``sim.ticks_*`` executed/skipped split is bit-identical with skipping
+disabled (see docs/performance.md for the contract).
 """
 
 from __future__ import annotations
@@ -19,9 +30,17 @@ from repro.stats import RunResult
 from repro.trace import TaskProgram, Trace, TraceSource, single_trace_program
 from repro.vector import DecoupledVectorEngine, VLittleEngine
 
+_INF = 1 << 60
+
 
 class System:
     """One simulated SoC built from a :class:`SoCConfig`."""
+
+    __slots__ = ("config", "obs", "_pending_obs", "ms", "bigs", "littles",
+                 "engine", "runtime", "_pb", "_pl", "_pm", "_name",
+                 "_wall_t0", "_ticks_big", "_ticks_little", "_ticks_mem",
+                 "_skipped_big", "_skipped_little", "_skipped_mem",
+                 "_done_blocker")
 
     def __init__(self, config, obs=None):
         if not isinstance(config, SoCConfig):
@@ -99,6 +118,8 @@ class System:
         self._pb, self._pl, self._pm = pb, pl, pm
         self._name = ""
         self._ticks_big = self._ticks_little = self._ticks_mem = 0
+        self._skipped_big = self._skipped_little = self._skipped_mem = 0
+        self._done_blocker = None
         self._wall_t0 = time.perf_counter()
 
     # ------------------------------------------------------------------- run
@@ -161,8 +182,15 @@ class System:
         if obs.sampler is not None:
             obs.sampler.attach(self, obs)
 
-    def run(self, program=None, max_ns=50_000_000, quiet=True, obs=None):
-        """Simulate to completion; returns a :class:`RunResult`."""
+    def run(self, program=None, max_ns=50_000_000, quiet=True, obs=None, skip=True):
+        """Simulate to completion; returns a :class:`RunResult`.
+
+        ``skip`` toggles the quiescence-skipping scheduler. It is a run-time
+        knob only — it is deliberately *not* part of :class:`SoCConfig` (it
+        must never change ``canonical_json()`` or cache keys) and every stat
+        except the ``sim.ticks_*`` executed/skipped split is bit-identical
+        either way.
+        """
         if program is not None:
             self.load(program)
         if obs is None:
@@ -173,16 +201,59 @@ class System:
             self._attach_obs(obs)
         pb, pl, pm = self._pb, self._pl, self._pm
         bigs, littles, engine, ms = self.bigs, self.littles, self.engine, self.ms
+        # pre-bound engine tick callables: the engine's domain is fixed for
+        # the whole run, so resolve the isinstance dispatch once here
+        big_engine_tick = engine.tick if isinstance(engine, DecoupledVectorEngine) else None
+        little_engine_tick = engine.tick if isinstance(engine, VLittleEngine) else None
+        ms_tick = ms.tick
+        done = self._done
         t_big = t_little = t_mem = 0
         t = 0
         max_ps = max_ns * 1000
         # interval sampling: with no sampler the loop pays one int compare
         sampler = self.obs.sampler if self.obs is not None else None
         next_sample = sampler.interval_ps if sampler is not None else max_ps + 1
+        watchdog_ps = 20_000_000
         last_progress_check = 0
         last_instrs = -1
+        ticks_big = ticks_little = ticks_mem = 0
+        skipped_big = skipped_little = skipped_mem = 0
         self._ticks_big = self._ticks_little = self._ticks_mem = 0
+        self._skipped_big = self._skipped_little = self._skipped_mem = 0
+        self._done_blocker = None
         self._wall_t0 = time.perf_counter()
+        # adaptive probe stride: probing every unit costs ~a dozen calls, so
+        # back off (doubling up to 64 iterations) while attempts keep
+        # failing and reset on success. Probes are pure, so the stride can
+        # never change simulated state — only how often we look for a skip.
+        stride = 1
+        since_probe = 0
+
+        def fast_forward(nb, nl, nm):
+            """Charge ``n`` skipped ticks to every unit of each domain and
+            advance the domain clocks past them. Compensation happens
+            *before* the clocks move so each unit sees the time of the
+            first skipped tick."""
+            nonlocal t_big, t_little, t_mem
+            nonlocal skipped_big, skipped_little, skipped_mem
+            if nb:
+                for c in bigs:
+                    c.skip_ticks(nb)
+                if big_engine_tick is not None:
+                    engine.skip_ticks(nb, t_big)
+                t_big += nb * pb
+                skipped_big += nb
+            if nl:
+                for c in littles:
+                    c.skip_ticks(nl, t_little)
+                if little_engine_tick is not None:
+                    engine.skip_ticks(nl, t_little)
+                t_little += nl * pl
+                skipped_little += nl
+            if nm:
+                ms.skip_ticks(nm, t_mem)
+                t_mem += nm * pm
+                skipped_mem += nm
 
         while t < max_ps:
             t = min(t_big, t_little, t_mem)
@@ -190,51 +261,177 @@ class System:
                 for c in bigs:
                     c.set_now_hint(t)
                     c.tick(t)
-                if engine is not None and isinstance(engine, DecoupledVectorEngine):
-                    engine.tick(t)
+                if big_engine_tick is not None:
+                    big_engine_tick(t)
                 t_big += pb
-                self._ticks_big += 1
+                ticks_big += 1
             if t == t_little:
                 for c in littles:
                     c.tick(t)
-                if engine is not None and isinstance(engine, VLittleEngine):
-                    engine.tick(t)
+                if little_engine_tick is not None:
+                    little_engine_tick(t)
                 t_little += pl
-                self._ticks_little += 1
+                ticks_little += 1
             if t == t_mem:
-                ms.tick(t)
+                ms_tick(t)
                 t_mem += pm
-                self._ticks_mem += 1
+                ticks_mem += 1
             if t >= next_sample:
                 sampler.sample(t)
                 next_sample = t + sampler.interval_ps
-            if self._done():
+            if done():
+                self._ticks_big, self._ticks_little, self._ticks_mem = \
+                    ticks_big, ticks_little, ticks_mem
+                self._skipped_big, self._skipped_little, self._skipped_mem = \
+                    skipped_big, skipped_little, skipped_mem
                 return self._result(t + max(pb, pl, pm))
             # watchdog (window must exceed any legitimate idle period,
             # e.g. a long mode-switch penalty)
-            if t - last_progress_check >= 20_000_000:  # every ~20k ns
+            if t - last_progress_check >= watchdog_ps:  # every ~20k ns
                 last_progress_check = t
-                instrs = sum(c.instrs for c in bigs) + sum(c.instrs for c in littles)
-                instrs += ms.dram.reads + ms.dram.writes  # memory-side progress
-                if engine is not None:
-                    instrs += getattr(engine, "instrs", 0)
-                    if isinstance(engine, VLittleEngine):
-                        instrs += sum(l.uops_issued for l in engine.lanes)
+                instrs = self._progress_signature()
                 if instrs == last_instrs:
+                    self._ticks_big, self._ticks_little, self._ticks_mem = \
+                        ticks_big, ticks_little, ticks_mem
+                    self._skipped_big, self._skipped_little, self._skipped_mem = \
+                        skipped_big, skipped_little, skipped_mem
                     raise DeadlockError(t, f"no instruction progress in system {self.config.name}")
                 last_instrs = instrs
+            if not skip:
+                continue
+            since_probe += 1
+            if since_probe < stride:
+                continue
+            since_probe = 0
+            # probe every unit at its own next tick time; 0 from any unit
+            # means its next tick does real work and nothing may be
+            # skipped. Cores go first: they veto most often (fetch/issue
+            # retry every tick while running) and their probe is cheapest.
+            T = _INF
+            for c in bigs:
+                b = c.next_work_ps(t_big)
+                if not b:
+                    T = 0
+                    break
+                if b < T:
+                    T = b
+            if T and engine is not None:
+                b = engine.next_work_ps(t_big if little_engine_tick is None
+                                        else t_little)
+                if not b:
+                    T = 0
+                elif b < T:
+                    T = b
+            if T:
+                for c in littles:
+                    b = c.next_work_ps(t_little)
+                    if not b:
+                        T = 0
+                        break
+                    if b < T:
+                        T = b
+            if T:
+                b = ms.next_work_ps(t_mem)
+                if not b:
+                    T = 0
+                elif b < T:
+                    T = b
+            nb = nl = nm = 0
+            if T:
+                # clamp to the events the loop itself must observe at their
+                # original times: the watchdog window and the max_ns
+                # horizon (both independent of obs/sampler attachment, so
+                # the executed/skipped split never changes when they are)
+                wd = last_progress_check + watchdog_ps
+                if wd < T:
+                    T = wd
+                if max_ps < T:
+                    T = max_ps
+                if T > t_big:
+                    nb = (T - t_big + pb - 1) // pb
+                if T > t_little:
+                    nl = (T - t_little + pl - 1) // pl
+                if T > t_mem:
+                    nm = (T - t_mem + pm - 1) // pm
+                if nb + nl + nm < 16:
+                    # too short to pay for the compensation calls: skipping
+                    # is always optional, so let these ticks execute
+                    nb = nl = nm = 0
+            if nb or nl or nm:
+                # sampler boundaries that fall inside the span fire at
+                # their exact original grid points: compensate every tick
+                # up to and *including* the boundary (the original loop
+                # samples after ticking it), sample, and keep going —
+                # never forcing an executed tick, so attaching a sampler
+                # cannot perturb the skip schedule either
+                while next_sample < T:
+                    g = t_big if next_sample <= t_big else \
+                        t_big + (next_sample - t_big + pb - 1) // pb * pb
+                    gl = t_little if next_sample <= t_little else \
+                        t_little + (next_sample - t_little + pl - 1) // pl * pl
+                    if gl < g:
+                        g = gl
+                    gm = t_mem if next_sample <= t_mem else \
+                        t_mem + (next_sample - t_mem + pm - 1) // pm * pm
+                    if gm < g:
+                        g = gm
+                    if g >= T:
+                        break
+                    fast_forward(
+                        (g - t_big) // pb + 1 if g >= t_big else 0,
+                        (g - t_little) // pl + 1 if g >= t_little else 0,
+                        (g - t_mem) // pm + 1 if g >= t_mem else 0,
+                    )
+                    sampler.sample(g)
+                    next_sample = g + sampler.interval_ps
+                nb = (T - t_big + pb - 1) // pb if T > t_big else 0
+                nl = (T - t_little + pl - 1) // pl if T > t_little else 0
+                nm = (T - t_mem + pm - 1) // pm if T > t_mem else 0
+                fast_forward(nb, nl, nm)
+                stride = 1
+            elif stride < 64:
+                stride += stride
+        self._ticks_big, self._ticks_little, self._ticks_mem = \
+            ticks_big, ticks_little, ticks_mem
+        self._skipped_big, self._skipped_little, self._skipped_mem = \
+            skipped_big, skipped_little, skipped_mem
         raise DeadlockError(t, f"exceeded max_ns={max_ns}")
 
+    def _progress_signature(self):
+        """Monotonic global progress count for the deadlock watchdog:
+        retired instructions on every core, memory-side DRAM traffic, and
+        engine instruction/uop issue."""
+        instrs = sum(c.instrs for c in self.bigs) + sum(c.instrs for c in self.littles)
+        instrs += self.ms.dram.reads + self.ms.dram.writes  # memory-side progress
+        engine = self.engine
+        if engine is not None:
+            instrs += getattr(engine, "instrs", 0)
+            if isinstance(engine, VLittleEngine):
+                instrs += sum(l.uops_issued for l in engine.lanes)
+        return instrs
+
     def _done(self):
+        # O(1) fast path on quiet iterations: re-check only the unit that
+        # blocked completion last time — a unit can only *become* done, so
+        # while the cached blocker is still busy nothing else needs a look
+        blk = self._done_blocker
+        if blk is not None and not blk():
+            return False
         for c in self.bigs:
             if not c.done():
+                self._done_blocker = c.done
                 return False
         for c in self.littles:
             if c.active and not c.done():
+                self._done_blocker = c.done
                 return False
-        if self.engine is not None and not self.engine.idle():
+        engine = self.engine
+        if engine is not None and not engine.idle():
+            self._done_blocker = engine.idle
             return False
-        if self.runtime is not None and not self.runtime.finished:
+        runtime = self.runtime
+        if runtime is not None and not runtime.finished:
+            self._done_blocker = lambda: runtime.finished
             return False
         return True
 
@@ -245,10 +442,16 @@ class System:
         stats["time_ps"] = t_ps
         stats["cycles_1ghz"] = t_ps // 1000
         # simulated clock ticks per domain: deterministic work counters that
-        # let the harness report sim throughput (ticks / wall second)
+        # let the harness report sim throughput (ticks / wall second).
+        # ticks_* counts only *executed* loop ticks; ticks_skipped_* counts
+        # ticks the quiescence scheduler fast-forwarded past, so
+        # ticks_X + ticks_skipped_X is invariant under the skip toggle
         stats["sim.ticks_big"] = self._ticks_big
         stats["sim.ticks_little"] = self._ticks_little
         stats["sim.ticks_mem"] = self._ticks_mem
+        stats["sim.ticks_skipped_big"] = self._skipped_big
+        stats["sim.ticks_skipped_little"] = self._skipped_little
+        stats["sim.ticks_skipped_mem"] = self._skipped_mem
         stats["fetch_requests"] = self.ms.fetch_requests()
         data_reqs = self.ms.data_requests()
         if isinstance(self.engine, DecoupledVectorEngine):
@@ -266,10 +469,12 @@ class System:
                 # close the final (partial) interval so short runs still
                 # produce at least one sample
                 self.obs.sampler.sample(t_ps)
+            # per-unit cycle attribution covers executed *and* compensated
+            # (skipped) ticks, so validation totals include both
             self.obs.validate({
-                "big": self._ticks_big,
-                "little": self._ticks_little,
-                "mem": self._ticks_mem,
+                "big": self._ticks_big + self._skipped_big,
+                "little": self._ticks_little + self._skipped_little,
+                "mem": self._ticks_mem + self._skipped_mem,
             })
             stats.update(self.obs.stats_dict())
         timing = {

@@ -16,7 +16,17 @@ class InstrSource:
     if no instruction is currently available (the core idles and the stall is
     attributed by the caller). ``pop()`` consumes it. ``done()`` is True once
     the source will never produce again.
+
+    ``pure_peek`` declares whether ``peek()`` is free of observable side
+    effects. The quiescence-skipping scheduler only probes sources whose
+    peeks are pure; an impure source (e.g. a work-stealing worker whose
+    peek may claim a task) vetoes skipping so the claim happens on the
+    exact tick it would have without skipping.
     """
+
+    __slots__ = ()
+
+    pure_peek = False
 
     def peek(self):
         raise NotImplementedError
@@ -32,6 +42,8 @@ class TraceSource(InstrSource):
     """A fixed pre-generated trace."""
 
     __slots__ = ("_instrs", "_pos")
+
+    pure_peek = True
 
     def __init__(self, trace):
         self._instrs = trace.instrs if hasattr(trace, "instrs") else list(trace)
@@ -56,9 +68,16 @@ class TraceSource(InstrSource):
 
 
 class ChainSource(InstrSource):
-    """Concatenate several sources (used to splice runtime overhead + task)."""
+    """Concatenate several sources (used to splice runtime overhead + task).
+
+    ``_advance`` is idempotent and externally unobservable, so peeks stay
+    pure as long as every chained source's peek is pure; the sources spliced
+    by the runtime are all :class:`TraceSource`, hence ``pure_peek``.
+    """
 
     __slots__ = ("_sources", "_idx")
+
+    pure_peek = True
 
     def __init__(self, sources=()):
         self._sources = list(sources)
@@ -88,6 +107,10 @@ class ChainSource(InstrSource):
 
 class EmptySource(InstrSource):
     """A source that never produces (idle core)."""
+
+    __slots__ = ()
+
+    pure_peek = True
 
     def peek(self):
         return None

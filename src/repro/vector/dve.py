@@ -22,6 +22,8 @@ from repro.isa.vector import VClass, VOp, VOP_CLASS, VOP_IS_LOAD, VOP_IS_STORE
 from repro.stats.breakdown import Stall
 from repro.utils import ceil_div
 
+_INF = 1 << 60
+
 _CLS_FU = {
     VClass.INT_SIMPLE: FUClass.ALU,
     VClass.INT_COMPLEX: FUClass.DIV,
@@ -44,6 +46,15 @@ class _LoadTracker:
 
 class DecoupledVectorEngine:
     """Engine interface: ``can_accept`` / ``dispatch`` / ``tick`` / ``idle``."""
+
+    __slots__ = (
+        "l2", "port", "vlen_bits", "lanes", "cmdq_depth", "loadq_lines",
+        "max_inflight", "lines_per_cycle", "line_bytes", "period",
+        "_cmdq", "_vready", "_trackers", "_line_to_tracker", "_pending_reqs",
+        "_inflight", "_loadq_used", "_store_outstanding", "_pipe_free",
+        "_token", "instrs", "line_reqs", "store_line_reqs", "_pop_at",
+        "obs", "_pv", "_obs_inflight",
+    )
 
     def __init__(
         self,
@@ -87,10 +98,13 @@ class DecoupledVectorEngine:
         self.line_reqs = 0
         self.store_line_reqs = 0
 
-    # --------------------------------------------------------- observability
+        # head popping folded into tick entry to keep the FSM tiny
+        self._pop_at = -1
 
-    obs = None  # UnitObs handle; None keeps every hook a single cheap check
-    _pv = None  # PipeView handle; None keeps lifecycle hooks a cheap check
+        self.obs = None  # UnitObs handle; every hook is a single cheap check
+        self._pv = None  # PipeView handle; same cheap-check discipline
+
+    # --------------------------------------------------------- observability
 
     def attach_obs(self, obs):
         self.obs = obs.unit("dve", "big", process="vector")
@@ -135,6 +149,68 @@ class DecoupledVectorEngine:
             and self._inflight == 0
             and self._store_outstanding == 0
         )
+
+    # ------------------------------------------------------- skip scheduling
+
+    def next_accept_ps(self, now):
+        """Pure bound on ``can_accept`` (which is itself pure here)."""
+        return 0 if len(self._cmdq) < self.cmdq_depth else _INF
+
+    def _compute_probe(self, now):
+        """Pure mirror of ``_compute_tick``: ``(category, bound)`` with
+        category None when the next tick would pop/issue/execute."""
+        if self._cmdq and self._cmdq[0][2]:
+            if self._pop_at <= now:
+                return None, 0
+            return Stall.BUSY, self._pop_at
+        if not self._cmdq:
+            return Stall.MISC, _INF
+        ins = self._cmdq[0][0]
+        if ins.op == VOp.VMFENCE:
+            if (self._inflight == 0 and self._store_outstanding == 0
+                    and not self._pending_reqs):
+                return None, 0
+            return Stall.RAW_MEM, _INF  # drained by L2 responses
+        for dep in ins.dep_ids:
+            t = self._vready.get(dep, 0)
+            if t > now:
+                return Stall.RAW_LLFU, t
+        if self._pipe_free > now:
+            return Stall.STRUCT, self._pipe_free
+        if VOP_IS_LOAD[ins.op]:
+            tr = self._trackers.get(ins.seq)
+            if tr is None or tr.ready_time is None:
+                return Stall.RAW_MEM, _INF  # lines still in flight
+            if tr.ready_time > now:
+                return Stall.RAW_MEM, tr.ready_time
+        return None, 0
+
+    def next_work_ps(self, now):
+        """Earliest future ps at which the engine could do real work."""
+        bound = _INF
+        t = self.port.resp_queue.next_time()
+        if t is not None:
+            if t <= now:
+                return 0  # a response pops next tick
+            if t < bound:
+                bound = t
+        if (self._pending_reqs and self._inflight < self.max_inflight
+                and self._loadq_used < self.loadq_lines):
+            return 0  # line requests issue next tick
+        cat, t = self._compute_probe(now)
+        if cat is None:
+            return 0
+        if t < bound:
+            bound = t
+        return bound
+
+    def skip_ticks(self, n, now):
+        """Replay ``n`` provably idle ticks (per-cycle obs attribution is
+        the engine's only per-tick effect)."""
+        if self.obs is not None:
+            cat, _ = self._compute_probe(now)
+            self.obs.cycle(cat, n)
+            self._obs_inflight.set(self._inflight, n)
 
     # ----------------------------------------------------------------- tick
 
@@ -266,9 +342,6 @@ class DecoupledVectorEngine:
         if head[3] is not None:
             self._pv.stage(head[3], "X", now)
             self._pv.retire(head[3], at)
-
-    # head popping folded into tick entry to keep the FSM tiny
-    _pop_at = -1
 
     def _lines_of(self, ins):
         seen = []

@@ -49,6 +49,8 @@ from repro.utils import ceil_div
 from repro.vector.vmu import VectorMemoryUnit
 from repro.vector.vxu import VXU
 
+_INF = 1 << 60
+
 # µop kinds
 EXEC = 0
 LDWB = 1
@@ -125,6 +127,50 @@ class Lane:
                     pv.retire(uop.pv, now + self.engine.period)
             return "busy"
         return status
+
+    def probe(self, now):
+        """Pure mirror of ``tick``: ``(status, bound)`` where status is
+        what a provably idle tick would return ('empty' or a Stall
+        category), or None when the very next tick would issue the
+        latched µop (a veto), and bound the earliest future ps this
+        lane's own timers could unblock it."""
+        if self.latch is None:
+            return "empty", _INF
+        if self.avail > now:
+            return "empty", self.avail
+        eng = self.engine
+        uop = self.latch
+        ins = uop.ins
+        kind = uop.kind
+        if kind == LDWB:
+            expected = eng.elem_count(ins.seq, uop.chime, self.idx)
+            if expected:
+                a = self.arrived.get((ins.seq, uop.chime))
+                if a is None or a[0] < expected:
+                    return Stall.RAW_MEM, _INF  # waiting on VMU delivery
+                if a[1] > now:
+                    return Stall.RAW_MEM, a[1]
+            return None, 0
+        if kind in (VXWRITE, VXREDUCE):
+            if not eng.vxu.result_ready(ins.seq, now):
+                return Stall.XELEM, eng.vxu.next_event_ps(now)
+            return None, 0
+        # EXEC / STDATA / IDXADDR / VXREAD / MOVEXS gate on dependences
+        chime = 0 if kind == MOVEXS else uop.chime
+        for dep in ins.dep_ids:
+            t = self.ready.get((dep, chime))
+            if t is None:
+                t = self.ready.get((dep, 0), 0)
+            if t > now:
+                return eng.seq_kind(dep), (t if t < _INF else _INF)
+        if kind in (EXEC, STDATA):
+            if self.busy_until > now:
+                return Stall.STRUCT, self.busy_until
+            if kind == EXEC:
+                t = self.fu.next_free_ps(_CLS_FU[VOP_CLASS[ins.op]], now)
+                if t:
+                    return Stall.STRUCT, t
+        return None, 0
 
     def _deps_ready(self, ins, chime, now):
         """None if ready, else the stall category to charge."""
@@ -219,6 +265,16 @@ class Lane:
 class VLittleEngine:
     """Engine interface used by the big core: can_accept / dispatch / tick."""
 
+    __slots__ = (
+        "cores", "lanes_count", "chimes", "packed", "uopq_depth",
+        "dataq_depth", "switch_penalty", "period", "bank_map", "lanes",
+        "vmu", "vxu", "_uopq", "_dataq_used", "_ready_at", "_seq_kind",
+        "_elem_expected", "_cross", "_fence_buffer", "_fences_pending",
+        "_dataq_release", "instrs", "mode_switches", "_bcast_issued",
+        "obs", "_pv", "_lane_obs", "_obs_uopq", "_obs_dataq",
+        "_obs_last_uopq", "_vxu_obs",
+    )
+
     def __init__(
         self,
         cores,
@@ -278,11 +334,12 @@ class VLittleEngine:
 
         self.instrs = 0
         self.mode_switches = 0
+        self._bcast_issued = False  # _broadcast handed a µop out this cycle
+
+        self.obs = None  # VCU UnitObs; every hook is a single cheap check
+        self._pv = None  # PipeView handle; same cheap-check discipline
 
     # --------------------------------------------------------- observability
-
-    obs = None  # VCU UnitObs; None keeps every hook a single cheap check
-    _pv = None  # PipeView handle; None keeps lifecycle hooks a cheap check
 
     def attach_obs(self, obs):
         self.obs = obs.unit("vcu", "little", process="vector")
@@ -341,6 +398,20 @@ class VLittleEngine:
         """OS switched the cluster back to scalar mode (CSR write): the next
         vector region pays the switch penalty again (§III-B)."""
         self._ready_at = None
+
+    def next_accept_ps(self, now):
+        """Pure bound on ``can_accept``: 0 when the next call could mutate
+        (first use arms the mode switch) or succeed, the mode-switch
+        ready time while the penalty runs, ``_INF`` when capacity-blocked
+        (the engine's own activity frees the queues)."""
+        if self._ready_at is None:
+            return 0  # first call mutates: it must run on an executed tick
+        if now < self._ready_at:
+            return self._ready_at
+        if (len(self._uopq) < self.uopq_depth and self.vmu.cmd_space()
+                and self._dataq_used < self.dataq_depth):
+            return 0
+        return _INF
 
     def dispatch(self, ins, now, respond=None):
         self.instrs += 1
@@ -457,7 +528,73 @@ class VLittleEngine:
             and not self.vxu.busy()
         )
 
-    _bcast_issued = False  # did _broadcast hand a µop to the lanes this cycle
+    # ------------------------------------------------------- skip scheduling
+
+    def _broadcast_probe(self, now):
+        """Pure mirror of ``_broadcast``: ``(reason, bound)`` with reason
+        None when the next tick would pop/start/broadcast (a veto)."""
+        if not self._uopq:
+            return Stall.MISC, _INF
+        uop = self._uopq[0]
+        if uop.kind == FENCE_MARK:
+            if self.vmu.idle() and all(l.latch is None for l in self.lanes):
+                return None, 0  # fence drains next tick
+            return Stall.MISC, _INF
+        if uop.kind in (VXREAD, VXWRITE, VXREDUCE):
+            if self.vxu.busy() and self.vxu.active.seq != uop.ins.seq:
+                return Stall.XELEM, _INF  # freed by a lane's executed µop
+            if uop.kind == VXREAD and not self.vxu.busy():
+                return None, 0  # vxu.start mutates
+        targets = (self.lanes if uop.lane_only is None
+                   else [self.lanes[uop.lane_only]])
+        if any(l.latch is not None for l in targets):
+            return Stall.SIMD, _INF  # target lanes unblock on executed ticks
+        return None, 0
+
+    def next_work_ps(self, now):
+        """Earliest future ps at which the engine (VMU, lanes, broadcast,
+        or the VXU ring) could do real work; 0 vetoes skipping."""
+        bound = self.vmu.next_work_ps(now)
+        if bound <= now:
+            return 0
+        for lane in self.lanes:
+            st, t = lane.probe(now)
+            if st is None:
+                return 0
+            if t <= now:
+                return 0
+            if t < bound:
+                bound = t
+        reason, t = self._broadcast_probe(now)
+        if reason is None:
+            return 0
+        if t < bound:
+            bound = t
+        # the ring's rotation completing flips lane result_ready and the
+        # VXU's per-cycle attribution category
+        t = self.vxu.next_event_ps(now)
+        if t < bound:
+            bound = t
+        return bound
+
+    def skip_ticks(self, n, now):
+        """Replay the per-tick constant effects of ``n`` provably idle
+        ticks: per-lane and VCU stall attribution, VMU counters, and the
+        per-cycle obs instruments."""
+        self.vmu.skip_ticks(n, now)
+        statuses = [lane.probe(now)[0] for lane in self.lanes]
+        reason = self._broadcast_probe(now)[0]
+        for lane, st in zip(self.lanes, statuses):
+            lane.breakdown.add(reason if st == "empty" else st, n)
+        o = self.obs
+        if o is not None:
+            for u, st in zip(self._lane_obs, statuses):
+                u.cycle(reason if st == "empty" else st, n)
+            o.cycle(reason, n)  # no broadcast on an idle tick
+            self._vxu_obs.cycle(self.vxu.cycle_category(now), n)
+            self._obs_uopq.observe(len(self._uopq), n)
+            self._obs_dataq.set(self._dataq_used, n)
+            # queue depth is frozen during a skip: no counter event
 
     def tick(self, now):
         self.vmu.tick(now)

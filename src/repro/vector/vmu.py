@@ -64,6 +64,10 @@ class _MemCmd:
 
 
 class VectorMemoryUnit:
+    __slots__ = ("engine", "bank_map", "coalesce_width", "_cmdq", "_rid",
+                 "vmsus", "vlu", "vsu", "line_reqs", "store_line_reqs",
+                 "obs", "_pv", "_obs_coalesce")
+
     def __init__(self, engine, l1ds, bank_map, loadq_lines=64, storeq_lines=64,
                  vmsu_inq_depth=4, coalesce_width=4):
         self.engine = engine
@@ -79,10 +83,10 @@ class VectorMemoryUnit:
         self.line_reqs = 0
         self.store_line_reqs = 0
 
-    # --------------------------------------------------------- observability
+        self.obs = None  # VMIU UnitObs; every hook is a single cheap check
+        self._pv = None  # PipeView handle; same cheap-check discipline
 
-    obs = None  # VMIU UnitObs; None keeps every hook a single cheap check
-    _pv = None  # PipeView handle; None keeps lifecycle hooks a cheap check
+    # --------------------------------------------------------- observability
 
     def attach_obs(self, obs):
         self.obs = obs.unit("vmu", "little", process="vector")
@@ -156,6 +160,61 @@ class VectorMemoryUnit:
         if self.obs is not None:
             self.obs.cycle(cat)
 
+    # ------------------------------------------------------- skip scheduling
+
+    def _vmiu_probe(self, now):
+        """Pure mirror of ``_vmiu_tick``: ``(category, bound)`` where
+        category is the stall an idle cycle charges (None when the next
+        tick would issue or pop — a veto) and bound the earliest future
+        ps the VMIU's own state unblocks (always ``_INF`` here: credits,
+        queue space, and pops all arrive on executed ticks)."""
+        if not self._cmdq:
+            return Stall.MISC, _INF
+        cmd = self._cmdq[0]
+        if cmd.next_line >= len(cmd.lines):
+            return None, 0
+        line, _deliveries, nelems = cmd.lines[cmd.next_line]
+        if cmd.indexed:
+            need = cmd.next_elem + min(nelems, self.coalesce_width)
+            if cmd.addr_credits < need:
+                return Stall.RAW_LLFU, _INF
+        if not self.vmsus[self.bank_map.bank_of(line)].can_accept():
+            return Stall.STRUCT, _INF
+        return None, 0
+
+    def next_work_ps(self, now):
+        """Earliest future ps at which any VMU sub-unit could do work."""
+        cat, bound = self._vmiu_probe(now)
+        if cat is None:
+            return 0
+        for v in self.vmsus:
+            t = v.next_work_ps(now)
+            if t <= now:
+                return 0
+            if t < bound:
+                bound = t
+        t = self.vsu.next_work_ps(now)
+        if t <= now:
+            return 0
+        if t < bound:
+            bound = t
+        t = self.vlu.next_work_ps(now)
+        if t <= now:
+            return 0
+        if t < bound:
+            bound = t
+        return bound
+
+    def skip_ticks(self, n, now):
+        """Replay per-tick constant effects of ``n`` provably idle ticks."""
+        for v in self.vmsus:
+            v.skip_ticks(n, now)
+        self.vlu.skip_ticks(n, now)
+        # the VSU's idle paths have no per-tick effects
+        if self.obs is not None:
+            cat, _ = self._vmiu_probe(now)
+            self.obs.cycle(cat, n)
+
     def _vmiu_tick(self, now):
         """Generate at most one line request per cycle (shared command bus).
 
@@ -215,6 +274,11 @@ class VectorMemoryUnit:
 class VMSU:
     """Vector memory slice unit: front end of one L1D bank slice."""
 
+    __slots__ = ("vmu", "bank", "l1d", "loadq_lines", "storeq_lines",
+                 "inq_depth", "inq", "ldq_used", "sdq", "cam", "_store_fills",
+                 "_port_cycle", "cam_stalls", "ldq_full_stalls",
+                 "obs", "_obs_ldq")
+
     def __init__(self, vmu, bank, l1d, loadq_lines, storeq_lines, inq_depth):
         self.vmu = vmu
         self.bank = bank
@@ -231,9 +295,9 @@ class VMSU:
         self.cam_stalls = 0
         self.ldq_full_stalls = 0
 
-    # --------------------------------------------------------- observability
+        self.obs = None  # UnitObs handle; every hook is a single cheap check
 
-    obs = None  # UnitObs handle; None keeps every hook a single cheap check
+    # --------------------------------------------------------- observability
 
     def attach_obs(self, obs):
         self.obs = obs.unit(f"vmsu{self.bank}", "little", process="vector")
@@ -249,6 +313,53 @@ class VMSU:
     def idle(self):
         return (not self.inq and not self.sdq and self.ldq_used == 0
                 and self._store_fills == 0)
+
+    # ------------------------------------------------------- skip scheduling
+
+    def next_work_ps(self, now):
+        """Earliest future ps at which either sub-pipe could do work.
+        ``_port_cycle`` is never equal to a future tick, so the probe
+        evaluates both pipes as if the port were free. Pure."""
+        bound = _INF
+        if self.inq:
+            req = self.inq[0]
+            if req.is_write:
+                if len(self.sdq) < self.storeq_lines:
+                    return 0  # store enters the CAM/sdq next tick
+            elif not self.cam.get(req.line):
+                if self.ldq_used < self.loadq_lines:
+                    return 0  # load accesses the L1D slice next tick
+            # CAM-blocked or queue-full: unblocked by the store pipe below
+            # or by the VLU freeing ldq entries on an executed tick
+        if self.sdq:
+            t = self.sdq[0].store_data_at
+            if t is not None:
+                if t <= now:
+                    return 0  # store writes to the L1D slice next tick
+                if t < bound:
+                    bound = t
+        return bound
+
+    def skip_ticks(self, n, now):
+        """Replay ``n`` provably idle ticks: the blocked sub-pipes charge
+        their stall counters and obs attribution every cycle."""
+        a = s = None
+        if self.inq:
+            req = self.inq[0]
+            if req.is_write:
+                a = Stall.STRUCT  # sdq full (anything else was vetoed)
+            elif self.cam.get(req.line):
+                self.cam_stalls += n
+                a = Stall.RAW_MEM
+            else:
+                self.ldq_full_stalls += n
+                a = Stall.STRUCT  # ldq full (anything else was vetoed)
+        if self.sdq:
+            s = Stall.RAW_LLFU  # waiting on store data (else vetoed)
+        if self.obs is not None:
+            cat = a if a is not None else (s if s is not None else Stall.MISC)
+            self.obs.cycle(cat, n)
+            self._obs_ldq.observe(self.ldq_used, n)
 
     def tick(self, now):
         a = self._accept_tick(now)
@@ -355,6 +466,9 @@ class VMSU:
 class VLU:
     """Vector load unit: strict in-order line return, sliced per lane."""
 
+    __slots__ = ("engine", "pending", "lane_q_elems", "lane_q_used",
+                 "lane_q_stalls")
+
     def __init__(self, engine, lane_q_elems=32):
         self.engine = engine
         self.pending = deque()  # load LineReqs in request order
@@ -364,6 +478,31 @@ class VLU:
 
     def idle(self):
         return not self.pending
+
+    def next_work_ps(self, now):
+        """Earliest future ps the VLU could deliver; ``_INF`` while the
+        head line is in flight (the L1D fill fires on an executed memory
+        tick) or a lane queue is full (lanes drain on executed ticks)."""
+        if not self.pending:
+            return _INF
+        req = self.pending[0]
+        t = req.data_ready
+        if t is None:
+            return _INF
+        if t > now:
+            return t
+        for (_chime, lane), count in req.deliveries:
+            if self.lane_q_used[lane] + count > self.lane_q_elems:
+                return _INF  # skip_ticks compensates the per-tick stall
+        return 0
+
+    def skip_ticks(self, n, now):
+        if not self.pending:
+            return
+        req = self.pending[0]
+        if req.data_ready is None or req.data_ready > now:
+            return
+        self.lane_q_stalls += n  # head blocked on a full lane queue
 
     def tick(self, now):
         if not self.pending:
@@ -394,6 +533,8 @@ class VLU:
 class VSU:
     """Vector store unit: assembles store lines from per-lane element data."""
 
+    __slots__ = ("engine", "pending", "_have", "_need")
+
     def __init__(self, engine):
         self.engine = engine
         self.pending = deque()  # store LineReqs in request order
@@ -412,6 +553,22 @@ class VSU:
 
     def idle(self):
         return not self.pending
+
+    def next_work_ps(self, now):
+        """Earliest future ps the VSU could assemble its head line;
+        ``_INF`` while waiting on lane store-data credits."""
+        if not self.pending:
+            return _INF
+        req = self.pending[0]
+        if req.store_data_at is not None:
+            return 0  # head pops next tick
+        h = self._have.get(req.seq)
+        need = self._need.get(req.seq, 0)
+        if h is None or h[0] < need:
+            return _INF
+        if h[1] > now:
+            return h[1]
+        return 0
 
     def tick(self, now):
         if not self.pending:

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from repro.stats.breakdown import Stall
 
+_INF = 1 << 60
+
 
 class CrossOp:
     __slots__ = ("seq", "nelems", "reads_needed", "reads_done", "complete_at",
@@ -27,17 +29,19 @@ class CrossOp:
 
 
 class VXU:
+    __slots__ = ("nlanes", "extra_latency", "period", "active",
+                 "ops_completed", "obs", "_pv")
+
     def __init__(self, nlanes, extra_latency=2, period=1):
         self.nlanes = nlanes
         self.extra_latency = extra_latency
         self.period = period
         self.active = None  # at most one CrossOp in flight
         self.ops_completed = 0
+        self.obs = None  # UnitObs handle; every hook is a single cheap check
+        self._pv = None  # PipeView handle; same cheap-check discipline
 
     # --------------------------------------------------------- observability
-
-    obs = None  # UnitObs handle; None keeps every hook a single cheap check
-    _pv = None  # PipeView handle; None keeps lifecycle hooks a cheap check
 
     def attach_obs(self, obs):
         self.obs = obs.unit("vxu", "little", process="vector")
@@ -59,6 +63,16 @@ class VXU:
 
     def busy(self):
         return self.active is not None
+
+    def next_event_ps(self, now):
+        """Earliest future ps at which the ring's own timer fires (the
+        rotation completing, which flips both ``result_ready`` and
+        ``cycle_category``); ``_INF`` otherwise — all other ring progress
+        is driven by lane µops on executed ticks. Pure."""
+        op = self.active
+        if op is not None and op.complete_at is not None and op.complete_at > now:
+            return op.complete_at
+        return _INF
 
     def start(self, seq, nelems, reads_needed, now=0):
         if self.active is not None:

@@ -53,7 +53,10 @@ BASE = {
     ("time_ps", TIMING),
     ("cycles_1ghz", TIMING),
     ("dram_busy_cycles", TIMING),
-    ("sim.ticks_little", TIMING),
+    # loop-iteration accounting: the quiescence-skipping scheduler changes
+    # the executed/skipped split without changing the simulated outcome
+    ("sim.ticks_little", META),
+    ("sim.ticks_skipped_big", META),
     ("obs.cycles.vcu.busy", TIMING),
     ("big0.stall.raw_mem", TIMING),
     ("vlittle.lane_stall.simd", TIMING),

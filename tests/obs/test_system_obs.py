@@ -34,9 +34,10 @@ def observed_run():
 
 def test_attribution_sums_to_domain_ticks(observed_run):
     obs, result = observed_run
-    ticks = {"big": result["sim.ticks_big"],
-             "little": result["sim.ticks_little"],
-             "mem": result["sim.ticks_mem"]}
+    # attribution covers every domain tick, executed or fast-forwarded by
+    # the quiescence-skipping scheduler (skipped ticks are compensated)
+    ticks = {d: result[f"sim.ticks_{d}"] + result[f"sim.ticks_skipped_{d}"]
+             for d in ("big", "little", "mem")}
     assert ticks["little"] > 0
     for u in obs.units.values():
         assert u.total() in (0, ticks[u.domain]), u.name
@@ -85,11 +86,14 @@ def test_task_parallel_run_validates():
     obs = Observation()
     result = _run("1b-4L", "bfs", obs=obs)
     assert result["obs.trace.events"] >= 0
-    assert obs.units["big0"].total() == result["sim.ticks_big"]
+    assert obs.units["big0"].total() == (
+        result["sim.ticks_big"] + result["sim.ticks_skipped_big"])
 
 
 def test_scalar_system_validates():
     obs = Observation()
     result = _run("1b", "vvadd", obs=obs)
-    assert obs.units["big0"].total() == result["sim.ticks_big"]
-    assert obs.units["l2"].total() == result["sim.ticks_mem"]
+    assert obs.units["big0"].total() == (
+        result["sim.ticks_big"] + result["sim.ticks_skipped_big"])
+    assert obs.units["l2"].total() == (
+        result["sim.ticks_mem"] + result["sim.ticks_skipped_mem"])
