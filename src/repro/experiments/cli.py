@@ -23,10 +23,20 @@ Observability (see ``docs/observability.md``):
   O3PipeView (``--format o3``) text.
 * ``bigvlittle timeline <workload> --out timeline.csv`` — interval
   time-series (IPC, stall mix, occupancies, MPKI, DRAM bandwidth) as CSV
-  or JSON (by extension), optionally plus Chrome counter tracks.
+  or JSON (by extension), optionally plus Chrome counter tracks. With
+  ``--energy`` each interval also carries Table-VII power and energy
+  columns (``--big``/``--little`` pick the DVFS levels).
+* ``bigvlittle phases <workload>`` — segment the sampled timeline into
+  scalar / mode-switch / vector-burst / drain phases with per-phase stall
+  mixes (and energy under ``--energy``); ``--json`` writes the
+  ``bigvlittle-phases-v1`` report.
 * ``bigvlittle diff a.json b.json [--gate]`` — classified stat diff of two
   run dumps; under ``--gate`` any exact mismatch or out-of-tolerance
-  timing delta exits nonzero (the CI regression gate).
+  timing delta exits nonzero (the CI regression gate). ``--tolerances``
+  loads a per-stat-family tolerance schema (see
+  ``benchmarks/diff_tolerances.json``) in place of the flat ``--rel-tol``;
+  ``--timeline`` diffs two timeline dumps instead, localizing the first
+  out-of-tolerance cycle per column.
 
 All obs verbs always simulate fresh (never read or write the result
 cache: attaching an Observation adds ``obs.*`` keys that must not leak
@@ -78,7 +88,8 @@ def main(argv=None):
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
-    if argv and argv[0] in ("trace", "profile", "pipeview", "timeline"):
+    if argv and argv[0] in ("trace", "profile", "pipeview", "timeline",
+                            "phases"):
         return _obs_main(argv[0], argv[1:])
     if argv and argv[0] == "diff":
         return _diff_main(argv[1:])
@@ -151,7 +162,9 @@ _OBS_DESCRIPTIONS = {
     "pipeview": "Export an instruction-grain pipeline trace (Konata / "
                 "gem5 O3PipeView) for one run",
     "timeline": "Export interval time-series (IPC, stall mix, occupancies, "
-                "MPKI, DRAM bandwidth) for one run",
+                "MPKI, DRAM bandwidth, optionally power/energy) for one run",
+    "phases": "Segment one run's sampled timeline into scalar / mode-switch "
+              "/ vector-burst / drain phases",
 }
 
 
@@ -182,15 +195,37 @@ def _obs_main(verb, argv):
                              "'o3', else kanata)")
         ap.add_argument("--window", type=int, default=50_000,
                         help="retired-instruction window; older records drop")
-    else:  # timeline
-        ap.add_argument("--out", default="timeline.csv", metavar="PATH",
-                        help="output path; .json extension switches the "
-                             "format to columnar JSON (default: timeline.csv)")
-        ap.add_argument("--interval", type=int, default=1000, metavar="CYCLES",
-                        help="sample interval in 1 GHz cycles (default: 1000)")
-        ap.add_argument("--trace", default=None, metavar="PATH",
-                        help="also write a Chrome trace JSON whose 'sampler' "
-                             "process carries the series as counter tracks")
+    else:  # timeline / phases: both drive an IntervalSampler
+        if verb == "timeline":
+            ap.add_argument("--out", default="timeline.csv", metavar="PATH",
+                            help="output path; .json extension switches the "
+                                 "format to columnar JSON (default: "
+                                 "timeline.csv)")
+            ap.add_argument("--trace", default=None, metavar="PATH",
+                            help="also write a Chrome trace JSON whose "
+                                 "'sampler' process carries the series as "
+                                 "counter tracks")
+            default_interval = 1000
+        else:
+            ap.add_argument("--json", default=None, metavar="PATH",
+                            help="write the bigvlittle-phases-v1 report as "
+                                 "JSON instead of printing the table")
+            ap.add_argument("--min-intervals", type=int, default=2, metavar="N",
+                            help="merge phases shorter than N samples into a "
+                                 "neighbor (default: 2)")
+            default_interval = 100
+        ap.add_argument("--interval", type=int, default=default_interval,
+                        metavar="CYCLES",
+                        help="sample interval in 1 GHz cycles "
+                             f"(default: {default_interval})")
+        ap.add_argument("--energy", action="store_true",
+                        help="add Table-VII power/energy columns (big-cluster "
+                             "W, engine W, interval J, cumulative J)")
+        ap.add_argument("--big", default="b1", metavar="LEVEL",
+                        help="big-core DVFS level for --energy (default: b1)")
+        ap.add_argument("--little", default="l1", metavar="LEVEL",
+                        help="little-core DVFS level for --energy "
+                             "(default: l1)")
     args = ap.parse_args(argv)
 
     from repro.experiments.runner import _program_for
@@ -204,8 +239,14 @@ def _obs_main(verb, argv):
         obs = Observation(max_events=args.max_events)
     elif verb == "pipeview":
         obs = Observation(pipeview=PipeView(window=args.window))
-    elif verb == "timeline":
-        obs = Observation(sampler=IntervalSampler(interval=args.interval))
+    elif verb in ("timeline", "phases"):
+        energy = (args.big, args.little) if args.energy else None
+        obs = Observation(sampler=IntervalSampler(interval=args.interval,
+                                                  energy=energy))
+    elif verb == "profile" and args.json is not None:
+        # the canonical run dump folds in a phase report, so every profile
+        # dump carries the phase structure alongside the flat stats
+        obs = Observation(sampler=IntervalSampler(interval=100))
     else:
         obs = Observation()
     t0 = time.time()
@@ -238,17 +279,34 @@ def _obs_main(verb, argv):
             n = sampler.to_json(args.out)
         else:
             n = sampler.to_csv(args.out)
-        print(f"wrote {n} samples ({sampler.interval}-cycle interval) "
+        note = (f" with energy columns ({args.big}/{args.little})"
+                if args.energy else "")
+        print(f"wrote {n} samples ({sampler.interval}-cycle interval){note} "
               f"to {args.out}")
         if args.trace:
             obs.write_chrome_trace(args.trace)
             print(f"wrote counter tracks to {args.trace} "
                   f"(open at https://ui.perfetto.dev)")
+    elif verb == "phases":
+        from repro.obs.phases import PhaseThresholds, detect_phases
+
+        report = detect_phases(
+            obs.sampler,
+            PhaseThresholds(min_intervals=args.min_intervals))
+        if args.json:
+            report.to_json(args.json)
+            print(f"wrote {len(report)}-phase report to {args.json}")
+        else:
+            print(report.format_table())
     elif args.json is not None:
         from repro.obs.diff import dump_result
+        from repro.obs.phases import detect_phases
 
-        doc = dump_result(result, extra={"workload": args.workload,
-                                         "scale": args.scale})
+        doc = dump_result(result, extra={
+            "workload": args.workload,
+            "scale": args.scale,
+            "phases": detect_phases(obs.sampler).as_dict(),
+        })
         text = json.dumps(doc, indent=1, sort_keys=True)
         if args.json == "-":
             print(text)
@@ -264,27 +322,50 @@ def _obs_main(verb, argv):
 def _diff_main(argv):
     ap = argparse.ArgumentParser(
         prog="bigvlittle diff",
-        description="Classified stat diff of two run dumps "
-                    "(see bigvlittle profile --json)")
-    ap.add_argument("a", help="baseline run dump (JSON)")
-    ap.add_argument("b", help="candidate run dump (JSON)")
+        description="Classified stat diff of two run dumps (see bigvlittle "
+                    "profile --json), or — with --timeline — a cycle-aligned "
+                    "diff of two timeline dumps")
+    ap.add_argument("a", help="baseline dump (JSON)")
+    ap.add_argument("b", help="candidate dump (JSON)")
+    ap.add_argument("--timeline", action="store_true",
+                    help="inputs are bigvlittle-timeline-v1 dumps; align "
+                         "rows on cycle values and report where each column "
+                         "first leaves tolerance")
     ap.add_argument("--gate", action="store_true",
                     help="exit nonzero on any exact mismatch, missing "
                          "non-obs key, or out-of-tolerance timing delta")
     ap.add_argument("--rel-tol", type=float, default=0.0, metavar="FRAC",
-                    help="relative tolerance for timing-class deltas "
+                    help="flat relative tolerance for timing-class deltas "
                          "(default: 0.0 — bit-identical)")
+    ap.add_argument("--tolerances", default=None, metavar="PATH",
+                    help="bigvlittle-tolerances-v1 JSON of per-stat-family "
+                         "tolerances (e.g. benchmarks/diff_tolerances.json); "
+                         "overrides --rel-tol")
     ap.add_argument("--top", type=int, default=25, metavar="N",
                     help="show at most N deltas (default: 25)")
     args = ap.parse_args(argv)
 
-    from repro.obs.diff import diff_files
+    from repro.obs.diff import ToleranceSchema, diff_files, diff_timeline_files
 
+    tol = ToleranceSchema.load(args.tolerances) if args.tolerances else None
+    if args.timeline:
+        if tol is None and args.rel_tol:
+            tol = ToleranceSchema(default_rel_tol=args.rel_tol, name="flat")
+        report = diff_timeline_files(args.a, args.b, tolerances=tol)
+        print(report.format_table(top=args.top))
+        if args.gate and not report.ok():
+            print(f"GATE FAILED: {len(report.diverged())} columns out of "
+                  f"tolerance")
+            return 1
+        return 0
     report = diff_files(args.a, args.b)
-    print(report.format_table(top=args.top, rel_tol=args.rel_tol))
-    if args.gate and not report.ok(args.rel_tol):
-        n = len(report.regressions(args.rel_tol)) + len(report._gated_missing())
-        print(f"GATE FAILED: {n} gated deltas (rel_tol={args.rel_tol})")
+    print(report.format_table(top=args.top, rel_tol=args.rel_tol,
+                              tolerances=tol))
+    if args.gate and not report.ok(args.rel_tol, tolerances=tol):
+        n = (len(report.regressions(args.rel_tol, tolerances=tol))
+             + len(report._gated_missing()))
+        policy = f"tolerances={tol.name}" if tol else f"rel_tol={args.rel_tol}"
+        print(f"GATE FAILED: {n} gated deltas ({policy})")
         return 1
     return 0
 

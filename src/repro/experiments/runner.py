@@ -37,6 +37,11 @@ def clear_cache():
 def _program_for(cfg, workload):
     kind = workload.kind
     name = cfg.name
+    if kind == "synthetic":
+        # phase-structure microbenchmarks always run as one trace: the
+        # vectorized view where the system has an engine, scalar otherwise
+        vlen = cfg.vlen_bits(4)
+        return workload.vector_trace(vlen) if vlen else workload.scalar_trace()
     if kind in ("kernel", "data-parallel"):
         if name in ("1L", "1b"):
             return workload.scalar_trace()

@@ -35,23 +35,46 @@ requested, and free when off):
   lifecycle traces (ROB, VCU µop broadcast, lane execute, VMU, VXU),
   exported as Konata / gem5-O3PipeView text.
 * :class:`~repro.obs.sampler.IntervalSampler` — IPC / occupancy /
-  stall-mix / MPKI / DRAM-bandwidth time series every N cycles, exported
+  stall-mix / MPKI / DRAM-bandwidth time series every N cycles — plus
+  Table-VII power/energy columns with ``energy=("b1", "l1")`` — exported
   as Chrome counter tracks, CSV, and JSON.
 
-:mod:`repro.obs.diff` compares the canonical stat dumps of two runs with
-exact/timing/meta delta classification and drives the CLI's
-``bigvlittle diff --gate`` regression gate.
+Two analysis layers consume those series after the run:
+
+* :mod:`repro.obs.phases` — :func:`~repro.obs.phases.detect_phases`
+  segments a sampled timeline into the paper's scalar / mode-switch /
+  vector-burst / drain phases, each carrying its stall mix and energy.
+* :mod:`repro.obs.diff` compares the canonical stat dumps of two runs
+  with exact/timing/meta delta classification (gated per stat family by
+  a :class:`~repro.obs.diff.ToleranceSchema`), aligns two timeline dumps
+  cycle-for-cycle (:func:`~repro.obs.diff.diff_timelines`) to localize
+  where runs first diverge, and drives the CLI's ``bigvlittle diff
+  --gate`` regression gate.
 """
 
-from repro.obs.diff import DiffReport, classify, diff_files, diff_stats, dump_result
+from repro.obs.diff import (
+    DiffReport,
+    TimelineDiffReport,
+    ToleranceSchema,
+    classify,
+    diff_files,
+    diff_stats,
+    diff_timeline_files,
+    diff_timelines,
+    dump_result,
+)
 from repro.obs.hooks import Observation, UnitObs
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.phases import PhaseReport, PhaseThresholds, detect_phases
 from repro.obs.pipeview import PipeView
-from repro.obs.sampler import IntervalSampler
+from repro.obs.sampler import IntervalSampler, load_timeline
 from repro.obs.tracer import Tracer
 
 __all__ = [
     "Observation", "UnitObs", "MetricsRegistry", "Tracer",
-    "PipeView", "IntervalSampler",
+    "PipeView", "IntervalSampler", "load_timeline",
+    "PhaseReport", "PhaseThresholds", "detect_phases",
     "DiffReport", "classify", "diff_files", "diff_stats", "dump_result",
+    "ToleranceSchema", "TimelineDiffReport",
+    "diff_timelines", "diff_timeline_files",
 ]

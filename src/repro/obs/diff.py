@@ -19,9 +19,27 @@ integers. This module diffs two such dumps and *classifies* every delta:
   quiescence-skipping scheduler changes how many loop iterations run
   without changing the simulated outcome.
 
+Timing tolerance comes in two granularities. The quick knob is a single
+``rel_tol`` applied to every timing delta (CLI ``--rel-tol``). The
+precise knob is a :class:`ToleranceSchema` (``bigvlittle-tolerances-v1``
+JSON, CLI ``--tolerances``): named stat *families* — ordered match rules
+over key names — each carrying its own relative tolerance, so a CI gate
+can allow small drift in stall attribution while holding end-to-end time
+and instruction counts bit-exact. The checked-in policy lives at
+``benchmarks/diff_tolerances.json``.
+
+Beyond scalar run dumps, :func:`diff_timelines` compares two
+``bigvlittle-timeline-v1`` interval dumps (``bigvlittle timeline``):
+rows are aligned on their ``cycle`` values (not array position, so a
+prefix that merely shifted still lines up), every shared column is
+compared under its tolerance family, and the report localizes *where*
+the runs first diverge — the earliest out-of-tolerance cycle per column
+and overall — instead of only saying that end-of-run totals moved.
+
 ``bigvlittle diff a.json b.json [--gate]`` wraps this for the CLI and CI:
 identical runs exit 0; under ``--gate`` any exact mismatch or
-out-of-tolerance timing delta exits nonzero.
+out-of-tolerance timing delta exits nonzero. ``bigvlittle diff
+--timeline a.json b.json`` switches to timeline mode.
 """
 
 from __future__ import annotations
@@ -54,6 +72,91 @@ def classify(key):
         return TIMING
     # everything else is a structural fact of the simulated trace
     return EXACT
+
+
+TOLERANCES_SCHEMA = "bigvlittle-tolerances-v1"
+
+
+class ToleranceFamily:
+    """One named match rule: keys it covers and the tolerance they get."""
+
+    __slots__ = ("name", "rel_tol", "keys", "prefixes", "contains")
+
+    def __init__(self, name, rel_tol=0.0, keys=(), prefixes=(), contains=()):
+        if rel_tol < 0:
+            raise ValueError(f"family {name!r}: rel_tol must be >= 0")
+        self.name = name
+        self.rel_tol = float(rel_tol)
+        self.keys = frozenset(keys)
+        self.prefixes = tuple(prefixes)
+        self.contains = tuple(contains)
+
+    def matches(self, key):
+        return (key in self.keys
+                or any(key.startswith(p) for p in self.prefixes)
+                or any(s in key for s in self.contains))
+
+    def as_dict(self):
+        doc = {"name": self.name, "rel_tol": self.rel_tol}
+        if self.keys:
+            doc["keys"] = sorted(self.keys)
+        if self.prefixes:
+            doc["prefixes"] = list(self.prefixes)
+        if self.contains:
+            doc["contains"] = list(self.contains)
+        return doc
+
+
+class ToleranceSchema:
+    """Ordered per-stat-family relative tolerances (first match wins).
+
+    Replaces the single global ``--rel-tol`` for gating: every stats key
+    or timeline column resolves to the first :class:`ToleranceFamily`
+    whose rule matches it, falling back to ``default_rel_tol``. A family
+    only *loosens or tightens the timing gate* — exact-class stats keys
+    stay bit-exact regardless (a tolerance on instruction counts would be
+    a category error, not a policy).
+    """
+
+    def __init__(self, families=(), default_rel_tol=0.0, name="tolerances"):
+        self.name = name
+        self.default_rel_tol = float(default_rel_tol)
+        self.families = [f if isinstance(f, ToleranceFamily)
+                         else ToleranceFamily(**f) for f in families]
+
+    def family_for(self, key):
+        """``(family_name, rel_tol)`` for one key; name is None on fallback."""
+        for fam in self.families:
+            if fam.matches(key):
+                return fam.name, fam.rel_tol
+        return None, self.default_rel_tol
+
+    def rel_tol_for(self, key):
+        return self.family_for(key)[1]
+
+    def as_dict(self):
+        return {
+            "schema": TOLERANCES_SCHEMA,
+            "name": self.name,
+            "default_rel_tol": self.default_rel_tol,
+            "families": [f.as_dict() for f in self.families],
+        }
+
+    @classmethod
+    def from_dict(cls, doc):
+        if not isinstance(doc, dict):
+            raise ValueError("tolerance schema: expected a JSON object")
+        schema = doc.get("schema")
+        if schema is not None and schema != TOLERANCES_SCHEMA:
+            raise ValueError(f"unsupported tolerance schema {schema!r}")
+        return cls(families=doc.get("families", ()),
+                   default_rel_tol=doc.get("default_rel_tol", 0.0),
+                   name=doc.get("name", "tolerances"))
+
+    @classmethod
+    def load(cls, path):
+        with open(path, "r", encoding="utf-8") as f:
+            return cls.from_dict(json.load(f))
 
 
 class Delta:
@@ -98,15 +201,26 @@ class DiffReport:
         return [k for k in self.only_a + self.only_b
                 if not k.startswith("obs.") and classify(k) != META]
 
-    def regressions(self, rel_tol=0.0):
-        """Deltas that fail the gate at the given timing tolerance."""
+    def _tol_for(self, key, rel_tol, tolerances):
+        return tolerances.rel_tol_for(key) if tolerances is not None else rel_tol
+
+    def regressions(self, rel_tol=0.0, tolerances=None):
+        """Deltas that fail the gate.
+
+        Timing-class deltas are gated at ``tolerances.rel_tol_for(key)``
+        when a :class:`ToleranceSchema` is given, else at the flat
+        ``rel_tol``. Exact-class deltas always gate.
+        """
         out = [d for d in self.deltas
-               if d.kind == EXACT or (d.kind == TIMING and d.rel > rel_tol)]
+               if d.kind == EXACT
+               or (d.kind == TIMING
+                   and d.rel > self._tol_for(d.key, rel_tol, tolerances))]
         out.sort(key=lambda d: (-d.rel, d.key))
         return out
 
-    def ok(self, rel_tol=0.0):
-        return not self.regressions(rel_tol) and not self._gated_missing()
+    def ok(self, rel_tol=0.0, tolerances=None):
+        return (not self.regressions(rel_tol, tolerances)
+                and not self._gated_missing())
 
     def counts(self):
         c = {EXACT: 0, TIMING: 0, META: 0}
@@ -116,8 +230,12 @@ class DiffReport:
 
     # ------------------------------------------------------------- rendering
 
-    def format_table(self, top=25, rel_tol=0.0):
+    def format_table(self, top=25, rel_tol=0.0, tolerances=None):
         lines = [f"diff: {self.a_name}  vs  {self.b_name}"]
+        if tolerances is not None:
+            lines.append(f"tolerances: {tolerances.name} "
+                         f"({len(tolerances.families)} families, "
+                         f"default rel_tol={tolerances.default_rel_tol})")
         if self.identical():
             lines.append("identical: 0 deltas")
             return "\n".join(lines)
@@ -130,7 +248,9 @@ class DiffReport:
         shown = sorted(self.deltas, key=lambda d: (-d.rel, d.key))[:top]
         for d in shown:
             flag = ""
-            if d.kind == EXACT or (d.kind == TIMING and d.rel > rel_tol):
+            if d.kind == EXACT or (d.kind == TIMING and
+                                   d.rel > self._tol_for(d.key, rel_tol,
+                                                         tolerances)):
                 flag = "  <- gate"
             lines.append(f"{d.key:<44} {d.kind:<7} {d.a:>14} {d.b:>14} "
                          f"{d.rel:>7.2%}{flag}")
@@ -195,3 +315,180 @@ def diff_files(path_a, path_b):
     a_name, a_stats = load_dump(path_a)
     b_name, b_stats = load_dump(path_b)
     return diff_stats(a_stats, b_stats, a_name, b_name)
+
+
+# --------------------------------------------------------------- timelines
+
+
+class ColumnDiff:
+    """Comparison of one timeline column over the aligned cycle range."""
+
+    __slots__ = ("column", "family", "rel_tol", "n_compared", "n_diverged",
+                 "first_cycle", "max_rel", "max_rel_cycle")
+
+    def __init__(self, column, family, rel_tol):
+        self.column = column
+        self.family = family       # tolerance-family name, or None
+        self.rel_tol = rel_tol
+        self.n_compared = 0
+        self.n_diverged = 0        # rows where rel > rel_tol
+        self.first_cycle = None    # cycle of the first out-of-tolerance row
+        self.max_rel = 0.0
+        self.max_rel_cycle = None
+
+    def compare(self, cycle, va, vb):
+        self.n_compared += 1
+        denom = max(abs(va), abs(vb))
+        rel = abs(va - vb) / denom if denom else 0.0
+        if rel > self.max_rel:
+            self.max_rel = rel
+            self.max_rel_cycle = cycle
+        if rel > self.rel_tol:
+            self.n_diverged += 1
+            if self.first_cycle is None:
+                self.first_cycle = cycle
+
+    def as_dict(self):
+        return {
+            "column": self.column,
+            "family": self.family,
+            "rel_tol": self.rel_tol,
+            "n_compared": self.n_compared,
+            "n_diverged": self.n_diverged,
+            "first_cycle": self.first_cycle,
+            "max_rel": self.max_rel,
+            "max_rel_cycle": self.max_rel_cycle,
+        }
+
+
+class TimelineDiffReport:
+    """Cycle-aligned comparison of two ``bigvlittle-timeline-v1`` dumps."""
+
+    def __init__(self, a_name, b_name, interval_cycles, columns,
+                 n_aligned, n_only_a, n_only_b, cols_only_a, cols_only_b):
+        self.a_name = a_name
+        self.b_name = b_name
+        self.interval_cycles = interval_cycles
+        self.columns = columns        # {column -> ColumnDiff}, shared cols
+        self.n_aligned = n_aligned    # rows whose cycle exists in both
+        self.n_only_a = n_only_a      # a-rows with no b row at that cycle
+        self.n_only_b = n_only_b
+        self.cols_only_a = cols_only_a  # e.g. energy columns on one side
+        self.cols_only_b = cols_only_b
+
+    def diverged(self):
+        """Columns with at least one out-of-tolerance row, worst first."""
+        out = [c for c in self.columns.values() if c.n_diverged]
+        out.sort(key=lambda c: (-c.max_rel, c.column))
+        return out
+
+    def first_divergence(self):
+        """``(cycle, column)`` of the earliest out-of-tolerance sample,
+        or None when every aligned sample is within tolerance."""
+        firsts = [(c.first_cycle, c.column) for c in self.columns.values()
+                  if c.first_cycle is not None]
+        return min(firsts) if firsts else None
+
+    def ok(self):
+        return self.n_aligned > 0 and not self.diverged()
+
+    def as_dict(self):
+        first = self.first_divergence()
+        return {
+            "a": self.a_name,
+            "b": self.b_name,
+            "interval_cycles": self.interval_cycles,
+            "n_aligned": self.n_aligned,
+            "n_only_a": self.n_only_a,
+            "n_only_b": self.n_only_b,
+            "columns_only_a": list(self.cols_only_a),
+            "columns_only_b": list(self.cols_only_b),
+            "first_divergence": (
+                {"cycle": first[0], "column": first[1]} if first else None),
+            "columns": {c: d.as_dict() for c, d in self.columns.items()},
+        }
+
+    def format_table(self, top=25):
+        lines = [f"timeline diff: {self.a_name}  vs  {self.b_name}  "
+                 f"(interval={self.interval_cycles} cycles)"]
+        lines.append(f"{self.n_aligned} aligned rows; "
+                     f"{self.n_only_a} cycles only in a, "
+                     f"{self.n_only_b} only in b")
+        for side, cols in (("a", self.cols_only_a), ("b", self.cols_only_b)):
+            if cols:
+                lines.append(f"columns only in {side} (not compared): "
+                             + ", ".join(cols))
+        bad = self.diverged()
+        if not bad:
+            lines.append(f"all {len(self.columns)} shared columns within "
+                         f"tolerance")
+            return "\n".join(lines)
+        first = self.first_divergence()
+        lines.append(f"FIRST DIVERGENCE at cycle {first[0]} "
+                     f"(column {first[1]})")
+        hdr = (f"{'column':<18} {'family':<12} {'tol':>8} {'diverged':>12} "
+               f"{'first@cyc':>10} {'max rel':>9} {'@cyc':>9}")
+        lines += [hdr, "-" * len(hdr)]
+        for c in bad[:top]:
+            lines.append(
+                f"{c.column:<18} {c.family or '-':<12} {c.rel_tol:>8.2g} "
+                f"{c.n_diverged:>5}/{c.n_compared:<6} {c.first_cycle:>10} "
+                f"{c.max_rel:>8.2%} {c.max_rel_cycle:>9}")
+        if len(bad) > top:
+            lines.append(f"... and {len(bad) - top} more columns")
+        return "\n".join(lines)
+
+
+def diff_timelines(a_doc, b_doc, tolerances=None, a_name="a", b_name="b"):
+    """Compare two timeline dumps into a :class:`TimelineDiffReport`.
+
+    Rows are aligned on their ``cycle`` column values — not on array
+    position — so a run whose later intervals shifted still compares its
+    common prefix sample-for-sample, and the report pinpoints the first
+    cycle at which any column leaves its tolerance family's band.
+    """
+    for side, doc in (("a", a_doc), ("b", b_doc)):
+        schema = doc.get("schema")
+        if schema is not None and schema != "bigvlittle-timeline-v1":
+            raise ValueError(f"{side}: unsupported timeline schema {schema!r}")
+    ia = a_doc.get("interval_cycles", 1)
+    ib = b_doc.get("interval_cycles", 1)
+    if ia != ib:
+        raise ValueError(f"cannot align timelines sampled at different "
+                         f"intervals ({ia} vs {ib} cycles)")
+    tol = tolerances or ToleranceSchema()
+    sa, sb = a_doc["series"], b_doc["series"]
+    cols_a = [c for c in a_doc["columns"] if c != "cycle"]
+    cols_b = set(b_doc["columns"]) - {"cycle"}
+    shared = [c for c in cols_a if c in cols_b]
+    cols_only_a = [c for c in cols_a if c not in cols_b]
+    cols_only_b = [c for c in b_doc["columns"]
+                   if c != "cycle" and c not in set(cols_a)]
+
+    idx_a = {cyc: i for i, cyc in enumerate(sa["cycle"])}
+    idx_b = {cyc: i for i, cyc in enumerate(sb["cycle"])}
+    aligned = sorted(set(idx_a) & set(idx_b))
+
+    columns = {}
+    for c in shared:
+        fam, rel_tol = tol.family_for(c)
+        columns[c] = ColumnDiff(c, fam, rel_tol)
+    for cyc in aligned:
+        i, j = idx_a[cyc], idx_b[cyc]
+        for c in shared:
+            columns[c].compare(cyc, sa[c][i], sb[c][j])
+
+    return TimelineDiffReport(
+        a_name, b_name, ia, columns,
+        n_aligned=len(aligned),
+        n_only_a=len(idx_a) - len(aligned),
+        n_only_b=len(idx_b) - len(aligned),
+        cols_only_a=cols_only_a, cols_only_b=cols_only_b)
+
+
+def diff_timeline_files(path_a, path_b, tolerances=None):
+    """Diff two timeline-dump files into a :class:`TimelineDiffReport`."""
+    from repro.obs.sampler import load_timeline
+
+    return diff_timelines(load_timeline(path_a), load_timeline(path_b),
+                          tolerances=tolerances, a_name=path_a, b_name=path_b)

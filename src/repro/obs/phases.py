@@ -1,0 +1,311 @@
+"""Sampler-driven execution-phase detection (``repro.obs.phases``).
+
+The paper's §V-B narrative describes every big.VLITTLE run as a sequence
+of qualitatively different regimes: **scalar** stretches where only the
+out-of-order core commits, the **mode-switch** penalty where the whole
+SoC sits idle while the little cluster reconfigures (§III-B), the
+**vector burst** where the VCU broadcasts µops to the lanes, and the
+**drain** tail where commits have stopped but the memory system is still
+retiring outstanding lines. This module recovers that narrative
+mechanically from an :class:`~repro.obs.sampler.IntervalSampler`
+timeline: each interval is labeled from its IPC, lane-µop rate, engine
+queue occupancies, and mode-switch flags, with hysteresis on the
+vector-burst thresholds and a minimum phase length so sampling noise
+cannot shred a burst into confetti. Adjacent same-label intervals merge
+into :class:`PhaseSegment` records carrying per-phase instruction/µop
+counts, the Fig.-7 stall-mix slice, and (when the timeline carries
+energy columns) per-phase joules.
+
+Because every interval lands in exactly one phase, the per-phase stall
+mixes and energies *tile* the run: summed over all phases they equal the
+whole-run Fig.-7 breakdown and the end-of-run energy total.
+
+Entry points: :func:`detect_phases` (a sampler, its ``as_dict()`` form,
+or a loaded ``bigvlittle-timeline-v1`` JSON dump) and the CLI's
+``bigvlittle phases <workload>``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ConfigError
+from repro.obs.sampler import TIMELINE_SCHEMA, load_timeline  # noqa: F401
+from repro.stats.breakdown import STALL_NAMES
+
+PHASES_SCHEMA = "bigvlittle-phases-v1"
+
+#: phase labels, in the order the paper's narrative introduces them
+SCALAR = "scalar"
+SWITCH = "mode_switch"
+VECTOR = "vector_burst"
+DRAIN = "drain"
+PHASE_NAMES = (SCALAR, SWITCH, VECTOR, DRAIN)
+
+
+class PhaseThresholds:
+    """Detector knobs; the defaults match ``docs/observability.md``.
+
+    ``vector_enter``/``vector_exit`` form the hysteresis pair on the
+    lane-µop issue rate (µops per reference cycle): a burst begins only
+    above ``vector_enter`` but persists until the rate falls below
+    ``vector_exit``, so a memory-stalled lull inside one burst does not
+    split it. ``min_intervals`` merges any phase shorter than that many
+    samples into its predecessor.
+    """
+
+    __slots__ = ("vector_enter", "vector_exit", "scalar_ipc", "min_intervals")
+
+    def __init__(self, vector_enter=0.10, vector_exit=0.02,
+                 scalar_ipc=0.01, min_intervals=2):
+        if vector_exit > vector_enter:
+            raise ConfigError("hysteresis requires vector_exit <= vector_enter")
+        if min_intervals < 1:
+            raise ConfigError("min_intervals must be >= 1")
+        self.vector_enter = vector_enter
+        self.vector_exit = vector_exit
+        self.scalar_ipc = scalar_ipc
+        self.min_intervals = int(min_intervals)
+
+    def as_dict(self):
+        return {
+            "vector_enter": self.vector_enter,
+            "vector_exit": self.vector_exit,
+            "scalar_ipc": self.scalar_ipc,
+            "min_intervals": self.min_intervals,
+        }
+
+
+class PhaseSegment:
+    """One contiguous run of same-phase intervals."""
+
+    __slots__ = ("phase", "start_cycle", "end_cycle", "intervals", "cycles",
+                 "instrs", "uops", "switches", "stalls", "energy_j")
+
+    def __init__(self, phase, start_cycle):
+        self.phase = phase
+        self.start_cycle = start_cycle
+        self.end_cycle = start_cycle
+        self.intervals = 0
+        self.cycles = 0
+        self.instrs = 0
+        self.uops = 0
+        self.switches = 0
+        self.stalls = {name: 0 for name in STALL_NAMES}
+        self.energy_j = None
+
+    def absorb(self, row):
+        self.end_cycle = row["cycle"]
+        self.intervals += 1
+        self.cycles += row["d_cycles"]
+        self.instrs += row["d_instrs_big"] + row["d_instrs_little"]
+        self.uops += row["d_uops"]
+        self.switches += row.get("d_switches", 0)
+        for name in STALL_NAMES:
+            self.stalls[name] += row[f"d_stall_{name}"]
+        if "energy_j" in row:
+            self.energy_j = (self.energy_j or 0.0) + row["energy_j"]
+
+    @property
+    def ipc(self):
+        return self.instrs / self.cycles if self.cycles else 0.0
+
+    def stall_fractions(self):
+        total = sum(self.stalls.values())
+        if not total:
+            return {name: 0.0 for name in STALL_NAMES}
+        return {name: self.stalls[name] / total for name in STALL_NAMES}
+
+    def as_dict(self):
+        doc = {
+            "phase": self.phase,
+            "start_cycle": self.start_cycle,
+            "end_cycle": self.end_cycle,
+            "intervals": self.intervals,
+            "cycles": self.cycles,
+            "instrs": self.instrs,
+            "uops": self.uops,
+            "switches": self.switches,
+            "ipc": round(self.ipc, 6),
+            "stalls": dict(self.stalls),
+        }
+        if self.energy_j is not None:
+            doc["energy_j"] = self.energy_j
+        return doc
+
+    def __repr__(self):
+        return (f"<PhaseSegment {self.phase} "
+                f"[{self.start_cycle}, {self.end_cycle}] "
+                f"intervals={self.intervals}>")
+
+
+class PhaseReport:
+    """The segmented timeline of one run."""
+
+    def __init__(self, segments, interval_cycles, thresholds):
+        self.segments = segments
+        self.interval_cycles = interval_cycles
+        self.thresholds = thresholds
+
+    def __len__(self):
+        return len(self.segments)
+
+    def counts(self):
+        """Number of segments per phase label (zero-filled)."""
+        out = {name: 0 for name in PHASE_NAMES}
+        for seg in self.segments:
+            out[seg.phase] += 1
+        return out
+
+    def total_stalls(self):
+        """Whole-run stall mix: the per-phase mixes summed back together."""
+        out = {name: 0 for name in STALL_NAMES}
+        for seg in self.segments:
+            for name in STALL_NAMES:
+                out[name] += seg.stalls[name]
+        return out
+
+    def total_energy_j(self):
+        if not any(seg.energy_j is not None for seg in self.segments):
+            return None
+        return sum(seg.energy_j or 0.0 for seg in self.segments)
+
+    def as_dict(self):
+        doc = {
+            "schema": PHASES_SCHEMA,
+            "interval_cycles": self.interval_cycles,
+            "thresholds": self.thresholds.as_dict(),
+            "n_phases": len(self.segments),
+            "counts": self.counts(),
+            "phases": [seg.as_dict() for seg in self.segments],
+            "total_stalls": self.total_stalls(),
+        }
+        energy = self.total_energy_j()
+        if energy is not None:
+            doc["total_energy_j"] = energy
+        return doc
+
+    def to_json(self, path):
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(self.as_dict(), f, indent=1)
+            f.write("\n")
+        return len(self.segments)
+
+    def format_table(self):
+        has_energy = any(seg.energy_j is not None for seg in self.segments)
+        hdr = (f"{'#':>3} {'phase':<12} {'cycles':>18} {'instrs':>9} "
+               f"{'uops':>9} {'ipc':>6} {'top stalls':<28}")
+        if has_energy:
+            hdr += f" {'energy':>10}"
+        lines = [hdr, "-" * len(hdr)]
+        for i, seg in enumerate(self.segments):
+            top = sorted(((v, k) for k, v in seg.stall_fractions().items()),
+                         reverse=True)[:2]
+            mix = " ".join(f"{k}={v:.0%}" for v, k in top if v > 0)
+            span = f"[{seg.start_cycle:>7}, {seg.end_cycle:>7}]"
+            line = (f"{i:>3} {seg.phase:<12} {span:>18} {seg.instrs:>9} "
+                    f"{seg.uops:>9} {seg.ipc:>6.2f} {mix:<28}")
+            if has_energy:
+                line += f" {seg.energy_j * 1e6:>8.3f}uJ"
+            lines.append(line)
+        counts = self.counts()
+        summary = ", ".join(f"{counts[p]} {p}" for p in PHASE_NAMES
+                            if counts[p])
+        lines.append(f"{len(self.segments)} phases: {summary}")
+        return "\n".join(lines)
+
+
+def _timeline_rows(timeline):
+    """Normalize a sampler / ``as_dict()`` doc / loaded JSON into rows."""
+    if hasattr(timeline, "rows"):  # an IntervalSampler
+        return timeline.rows(), timeline.interval
+    if not isinstance(timeline, dict):
+        raise ConfigError("detect_phases expects an IntervalSampler or a "
+                          "bigvlittle-timeline-v1 dict")
+    schema = timeline.get("schema")
+    if schema is not None and schema != TIMELINE_SCHEMA:
+        raise ConfigError(f"unsupported timeline schema {schema!r}")
+    cols = timeline["columns"]
+    series = timeline["series"]
+    n = timeline.get("samples", len(series.get("cycle", ())))
+    rows = [{c: series[c][i] for c in cols} for i in range(n)]
+    return rows, timeline.get("interval_cycles", 1)
+
+
+def _raw_labels(rows, th):
+    """Per-interval phase labels with vector-burst hysteresis."""
+    labels = []
+    prev = None
+    for row in rows:
+        width = max(row["d_cycles"], 1)
+        uop_rate = row["d_uops"] / width
+        ipc = row["ipc_big"] + row["ipc_little"]
+        engine_busy = row["uopq"] > 0 or row["dataq"] > 0
+        vec_gate = th.vector_exit if prev == VECTOR else th.vector_enter
+        if row.get("switching") or (
+                row.get("d_switches", 0) > 0 and uop_rate < th.vector_enter):
+            label = SWITCH
+        elif (uop_rate > 0 and uop_rate >= vec_gate) or engine_busy:
+            label = VECTOR
+        elif ipc >= th.scalar_ipc:
+            label = SCALAR
+        elif (row["ldq"] > 0 or row["d_dram_reads"] or row["d_dram_writes"]
+              or row["d_l2_misses"]):
+            label = DRAIN
+        else:
+            # a fully quiet interval extends whatever came before it
+            label = prev if prev is not None else SCALAR
+        labels.append(label)
+        prev = label
+    return labels
+
+
+def _smooth(labels, min_intervals):
+    """Merge phase runs shorter than ``min_intervals`` into a neighbor."""
+    if min_intervals <= 1 or not labels:
+        return list(labels)
+    out = list(labels)
+    changed = True
+    while changed:
+        changed = False
+        runs = []
+        start = 0
+        for i in range(1, len(out) + 1):
+            if i == len(out) or out[i] != out[start]:
+                runs.append((start, i))
+                start = i
+        if len(runs) <= 1:
+            break
+        for k, (lo, hi) in enumerate(runs):
+            if hi - lo >= min_intervals:
+                continue
+            # absorb into the longer neighbor (predecessor wins ties)
+            prev_len = runs[k - 1][1] - runs[k - 1][0] if k > 0 else -1
+            next_len = runs[k + 1][1] - runs[k + 1][0] if k + 1 < len(runs) else -1
+            target = (out[runs[k - 1][0]] if prev_len >= next_len
+                      else out[runs[k + 1][0]])
+            for i in range(lo, hi):
+                out[i] = target
+            changed = True
+            break
+    return out
+
+
+def detect_phases(timeline, thresholds=None):
+    """Segment a sampled timeline into a :class:`PhaseReport`.
+
+    ``timeline`` may be a live :class:`~repro.obs.sampler.IntervalSampler`,
+    its ``as_dict()`` form, or a ``bigvlittle-timeline-v1`` JSON document
+    loaded from disk.
+    """
+    th = thresholds or PhaseThresholds()
+    rows, interval = _timeline_rows(timeline)
+    labels = _smooth(_raw_labels(rows, th), th.min_intervals)
+    segments = []
+    prev_cycle = 0
+    for row, label in zip(rows, labels):
+        if not segments or segments[-1].phase != label:
+            segments.append(PhaseSegment(label, prev_cycle))
+        segments[-1].absorb(row)
+        prev_cycle = row["cycle"]
+    return PhaseReport(segments, interval, th)

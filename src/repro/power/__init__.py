@@ -8,6 +8,7 @@ from repro.power.dvfs import (
     freqs,
     grid,
     little_level,
+    power_split,
     system_power_w,
 )
 from repro.power.model import dominates, energy_j, pareto_frontier
@@ -20,6 +21,7 @@ __all__ = [
     "little_level",
     "grid",
     "freqs",
+    "power_split",
     "system_power_w",
     "pareto_frontier",
     "dominates",

@@ -51,6 +51,32 @@ def grid():
     return [(b, l) for b in BIG_LEVELS for l in LITTLE_LEVELS]
 
 
+def power_split(system_name, big="b1", little="l1", n_little=4):
+    """``(big-cluster W, engine/little-cluster W)`` at a DVFS point.
+
+    The split powers the energy-over-time timeline columns: the first
+    component is the out-of-order big cluster, the second is whatever
+    data-parallel engine the system carries (the VLITTLE little cluster,
+    the decoupled Tarantula-style engine, or the plain little cluster).
+    ``power_split(...)[0] + power_split(...)[1]`` is by construction the
+    exact float :func:`system_power_w` returns, so cumulative timeline
+    joules always reconcile with end-of-run energy totals.
+    """
+    fb, pb = big_level(big)
+    fl, pl = little_level(little)
+    if system_name == "1L":
+        return 0.0, pl
+    if system_name == "1b":
+        return pb, 0.0
+    if system_name in ("1bIV",):
+        return pb, 0.0  # the IVU reuses existing pipelines
+    if system_name == "1bDV":
+        return pb, pb * DVE_POWER_RATIO
+    if system_name in ("1b-4L", "1bIV-4L", "1b-4VL"):
+        return pb, n_little * pl
+    raise ConfigError(f"unknown system {system_name!r}")
+
+
 def system_power_w(system_name, big="b1", little="l1", n_little=4):
     """Average power of one simulated system at a DVFS point.
 
@@ -59,19 +85,8 @@ def system_power_w(system_name, big="b1", little="l1", n_little=4):
     in scalar mode and replacing front-end activity in vector mode); ``1bDV``
     adds a vector engine at 1.4x the big core's power.
     """
-    fb, pb = big_level(big)
-    fl, pl = little_level(little)
-    if system_name == "1L":
-        return pl
-    if system_name == "1b":
-        return pb
-    if system_name in ("1bIV",):
-        return pb  # the IVU reuses existing pipelines
-    if system_name == "1bDV":
-        return pb * (1.0 + DVE_POWER_RATIO)
-    if system_name in ("1b-4L", "1bIV-4L", "1b-4VL"):
-        return pb + n_little * pl
-    raise ConfigError(f"unknown system {system_name!r}")
+    big_w, engine_w = power_split(system_name, big, little, n_little)
+    return big_w + engine_w
 
 
 def freqs(big="b1", little="l1"):

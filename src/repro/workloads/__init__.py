@@ -14,13 +14,22 @@ from repro.workloads.common import (
 )
 
 # importing the suites populates the registry
-from repro.workloads import genomics, kernels, ligra, rivec, rodinia  # noqa: F401
+from repro.workloads import (  # noqa: F401
+    genomics,
+    kernels,
+    ligra,
+    rivec,
+    rodinia,
+    synthetic,
+)
 from repro.workloads.graphs import Graph, bfs_levels, make_rmat
 
 KERNELS = workloads_by_kind("kernel")
 DATA_PARALLEL = workloads_by_kind("data-parallel")
 TASK_PARALLEL = workloads_by_kind("task-parallel")
 VECTORIZABLE = KERNELS + DATA_PARALLEL
+#: phase-structure microbenchmarks; never part of the figure sweeps
+SYNTHETIC = workloads_by_kind("synthetic")
 
 __all__ = [
     "REGISTRY",
@@ -39,4 +48,5 @@ __all__ = [
     "DATA_PARALLEL",
     "TASK_PARALLEL",
     "VECTORIZABLE",
+    "SYNTHETIC",
 ]

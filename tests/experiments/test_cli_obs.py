@@ -1,5 +1,5 @@
 """CLI observability verbs end to end: trace, profile, pipeview, timeline,
-diff.
+phases, diff.
 
 Contract: every obs verb simulates fresh, writes exactly the files it
 announces, exits 0 on success — and never reads or writes the result
@@ -50,6 +50,9 @@ def test_profile_json_file(tmp_path, fresh_cache, run_spy):
     assert doc["workload"] == "vvadd"
     assert doc["stats"]["cycles_1ghz"] == doc["cycles"]
     assert any(k.startswith("obs.cycles.") for k in doc["stats"])
+    # the dump folds in a phase report alongside the flat stats
+    assert doc["phases"]["schema"] == "bigvlittle-phases-v1"
+    assert doc["phases"]["n_phases"] >= 1
     _cache_untouched(fresh_cache)
 
 
@@ -112,6 +115,38 @@ def test_timeline_verb_json_and_trace(tmp_path, fresh_cache):
     _cache_untouched(fresh_cache)
 
 
+def test_timeline_energy_columns(tmp_path, fresh_cache, capsys):
+    out = tmp_path / "tl.csv"
+    assert main(["timeline", *ARGS, "--out", str(out), "--energy",
+                 "--big", "b2", "--little", "l0"]) == 0
+    header = out.read_text().splitlines()[0].split(",")
+    for col in ("big_w", "engine_w", "power_w", "energy_j", "cum_energy_j"):
+        assert col in header
+    assert "energy columns (b2/l0)" in capsys.readouterr().out
+    _cache_untouched(fresh_cache)
+
+
+def test_phases_verb_table(fresh_cache, run_spy, capsys):
+    assert main(["phases", "switch_thrash", "--scale", "tiny"]) == 0
+    assert run_spy["n"] == 1
+    out = capsys.readouterr().out
+    assert "phases:" in out
+    for phase in ("scalar", "mode_switch", "vector_burst"):
+        assert phase in out
+    _cache_untouched(fresh_cache)
+
+
+def test_phases_verb_json(tmp_path, fresh_cache):
+    out = tmp_path / "phases.json"
+    assert main(["phases", "switch_thrash", "--scale", "tiny", "--energy",
+                 "--json", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "bigvlittle-phases-v1"
+    assert doc["counts"]["vector_burst"] >= 1
+    assert doc["total_energy_j"] > 0
+    _cache_untouched(fresh_cache)
+
+
 # ----------------------------------------------------------------- diffing
 
 
@@ -153,3 +188,51 @@ def test_diff_gate_tolerance(two_dumps, tmp_path, capsys):
     assert main(["diff", a, str(b), "--gate"]) == 1
     assert main(["diff", a, str(b), "--gate", "--rel-tol", "0.05"]) == 0
     capsys.readouterr()
+
+
+def test_diff_gate_tolerance_schema(two_dumps, tmp_path, capsys):
+    a, _ = two_dumps
+    doc = json.loads(open(a).read())
+    key = next(k for k in doc["stats"] if ".stall." in k
+               and doc["stats"][k] > 100)
+    doc["stats"][key] = int(doc["stats"][key] * 1.002)
+    b = tmp_path / "drift.json"
+    b.write_text(json.dumps(doc))
+    # the checked-in policy lets 0.2% stall-attribution drift through
+    # while the flat default gate catches it
+    assert main(["diff", a, str(b), "--gate"]) == 1
+    assert main(["diff", a, str(b), "--gate", "--tolerances",
+                 "benchmarks/diff_tolerances.json"]) == 0
+    capsys.readouterr()
+
+
+@pytest.fixture
+def two_timelines(tmp_path, fresh_cache):
+    a = tmp_path / "tla.json"
+    b = tmp_path / "tlb.json"
+    for path in (a, b):
+        assert main(["timeline", *ARGS, "--out", str(path),
+                     "--interval", "100"]) == 0
+    return str(a), str(b)
+
+
+def test_diff_timeline_identical(two_timelines, capsys):
+    a, b = two_timelines
+    assert main(["diff", "--timeline", a, b, "--gate"]) == 0
+    assert "within tolerance" in capsys.readouterr().out
+
+
+def test_diff_timeline_localizes_divergence(two_timelines, tmp_path, capsys):
+    a, b = two_timelines
+    doc = json.loads(open(b).read())
+    k = len(doc["series"]["cycle"]) // 2
+    cyc = doc["series"]["cycle"][k]
+    doc["series"]["ipc_big"][k] += 1.0
+    mutated = tmp_path / "mut.json"
+    mutated.write_text(json.dumps(doc))
+    assert main(["diff", "--timeline", a, str(mutated)]) == 0  # report-only
+    assert main(["diff", "--timeline", a, str(mutated), "--gate",
+                 "--tolerances", "benchmarks/diff_tolerances.json"]) == 1
+    out = capsys.readouterr().out
+    assert f"FIRST DIVERGENCE at cycle {cyc} (column ipc_big)" in out
+    assert "GATE FAILED" in out

@@ -1,0 +1,205 @@
+"""Phase detection: labeling, hysteresis, smoothing, and tiling.
+
+The acceptance contract (docs/observability.md):
+
+* a switch-thrashing run on a VLITTLE system segments into at least one
+  scalar, one mode-switch, and one vector-burst phase;
+* every sampled interval lands in exactly one phase, so per-phase stall
+  mixes, instruction counts, and energies tile the whole-run totals;
+* the vector-burst hysteresis pair keeps a mid-burst lull from splitting
+  a burst, and ``min_intervals`` smoothing absorbs one-sample blips;
+* a system without an engine never reports vector or mode-switch phases.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.runner import _program_for
+from repro.obs import IntervalSampler, Observation
+from repro.obs.phases import (
+    DRAIN,
+    PHASES_SCHEMA,
+    SCALAR,
+    SWITCH,
+    VECTOR,
+    PhaseThresholds,
+    detect_phases,
+)
+from repro.soc import System, preset
+from repro.stats import STALL_NAMES
+from repro.workloads import get_workload
+
+
+def _run(system_name, workload, obs=None, **kw):
+    cfg = preset(system_name)
+    program = _program_for(cfg, get_workload(workload, "tiny", **kw))
+    return System(cfg).run(program, obs=obs)
+
+
+# ------------------------------------------------------- synthetic timelines
+
+
+def _row(cycle, d_cycles=100, instrs=0, uops=0, uopq=0, dataq=0, ldq=0,
+         switches=0, switching=0, dram=0):
+    row = {
+        "cycle": cycle, "d_cycles": d_cycles,
+        "d_instrs_big": instrs, "d_instrs_little": 0, "d_uops": uops,
+        "rob0": 0, "uopq": uopq, "dataq": dataq, "ldq": ldq,
+        "d_l2_hits": 0, "d_l2_misses": 0,
+        "d_dram_reads": dram, "d_dram_writes": 0,
+        "d_switches": switches, "switching": switching,
+        "ipc_big": round(instrs / d_cycles, 6), "ipc_little": 0.0,
+        "l2_mpki": 0.0, "dram_gbps": 0.0,
+    }
+    for name in STALL_NAMES:
+        row[f"d_stall_{name}"] = 0
+    return row
+
+
+def _doc(rows, interval=100):
+    cols = list(rows[0])
+    return {
+        "schema": "bigvlittle-timeline-v1",
+        "interval_cycles": interval,
+        "samples": len(rows),
+        "columns": cols,
+        "series": {c: [r[c] for r in rows] for c in cols},
+    }
+
+
+def test_known_sequence_segments():
+    rows = (
+        [_row((i + 1) * 100, instrs=80) for i in range(4)]          # scalar
+        + [_row(500, switches=1, switching=1), _row(600, switching=1)]
+        + [_row((7 + i) * 100, uops=50, instrs=5) for i in range(4)]  # burst
+        + [_row((11 + i) * 100, ldq=2, dram=4) for i in range(2)]     # drain
+    )
+    report = detect_phases(_doc(rows))
+    assert [s.phase for s in report.segments] == [SCALAR, SWITCH, VECTOR,
+                                                  DRAIN]
+    assert [s.intervals for s in report.segments] == [4, 2, 4, 2]
+    assert report.segments[0].instrs == 320
+    assert report.segments[2].uops == 200
+
+
+def test_hysteresis_keeps_burst_together():
+    # a lull whose µop rate sits between vector_exit and vector_enter must
+    # not end the burst it sits inside
+    th = PhaseThresholds(vector_enter=0.10, vector_exit=0.02,
+                         min_intervals=1)
+    rows = ([_row(100, instrs=80), _row(200, instrs=80)]
+            + [_row(300, uops=50), _row(400, uops=5),   # 0.05: mid-band
+               _row(500, uops=50)])
+    report = detect_phases(_doc(rows), th)
+    assert [s.phase for s in report.segments] == [SCALAR, VECTOR]
+    # but the same mid-band rate never *starts* a burst
+    rows2 = [_row(100, instrs=80), _row(200, uops=5, instrs=80)]
+    report2 = detect_phases(_doc(rows2), th)
+    assert [s.phase for s in report2.segments] == [SCALAR]
+
+
+def test_min_intervals_smooths_blips():
+    rows = ([_row((i + 1) * 100, instrs=80) for i in range(4)]
+            + [_row(500, uops=50)]                       # one-sample blip
+            + [_row((6 + i) * 100, instrs=80) for i in range(4)])
+    th = PhaseThresholds(min_intervals=2)
+    report = detect_phases(_doc(rows), th)
+    assert [s.phase for s in report.segments] == [SCALAR]
+    assert report.segments[0].intervals == 9
+    # with smoothing off the blip survives
+    report2 = detect_phases(_doc(rows), PhaseThresholds(min_intervals=1))
+    assert [s.phase for s in report2.segments] == [SCALAR, VECTOR, SCALAR]
+
+
+def test_threshold_validation():
+    with pytest.raises(ConfigError):
+        PhaseThresholds(vector_enter=0.01, vector_exit=0.05)
+    with pytest.raises(ConfigError):
+        PhaseThresholds(min_intervals=0)
+    with pytest.raises(ConfigError):
+        detect_phases({"schema": "bogus-v0"})
+
+
+# ------------------------------------------------------------- real runs
+
+
+@pytest.fixture(scope="module")
+def thrash_report():
+    obs = Observation(sampler=IntervalSampler(interval=100))
+    result = _run("1b-4VL", "switch_thrash", obs=obs)
+    return detect_phases(obs.sampler), result
+
+
+def test_switch_thrash_hits_all_three_phases(thrash_report):
+    report, _ = thrash_report
+    counts = report.counts()
+    assert counts[SCALAR] >= 3
+    assert counts[SWITCH] >= 3
+    assert counts[VECTOR] >= 3
+
+
+def test_phases_tile_run_totals(thrash_report):
+    report, result = thrash_report
+    # per-phase stall mixes sum back to the whole-run Fig.-7 breakdown
+    total = report.total_stalls()
+    by_cat = {name: 0 for name in STALL_NAMES}
+    for k, v in result.stats.items():
+        if k.startswith("obs.cycles."):
+            by_cat[k.rsplit(".", 1)[1]] += v
+    assert total == by_cat
+    # and instruction counts tile the run
+    instrs = sum(seg.instrs for seg in report.segments)
+    assert instrs == result["big0.instrs"] + sum(
+        v for k, v in result.stats.items()
+        if k.startswith("little") and k.endswith(".instrs"))
+
+
+def test_no_engine_means_no_vector_phases():
+    obs = Observation(sampler=IntervalSampler(interval=100))
+    _run("1b", "switch_thrash", obs=obs)
+    report = detect_phases(obs.sampler)
+    counts = report.counts()
+    assert counts[VECTOR] == 0 and counts[SWITCH] == 0
+    assert counts[SCALAR] >= 1
+
+
+def test_phase_energy_tiles_series_total():
+    obs = Observation(sampler=IntervalSampler(interval=100,
+                                              energy=("b1", "l1")))
+    _run("1b-4VL", "switch_thrash", obs=obs)
+    report = detect_phases(obs.sampler)
+    assert all(seg.energy_j is not None for seg in report.segments)
+    total = report.total_energy_j()
+    series_total = sum(obs.sampler.series("energy_j"))
+    assert total == pytest.approx(series_total, rel=1e-12)
+
+
+def test_report_dict_and_json(thrash_report, tmp_path):
+    report, _ = thrash_report
+    doc = report.as_dict()
+    assert doc["schema"] == PHASES_SCHEMA
+    assert doc["n_phases"] == len(report.segments) == len(doc["phases"])
+    assert doc["counts"] == report.counts()
+    assert doc["thresholds"]["vector_enter"] == 0.10
+    path = tmp_path / "phases.json"
+    assert report.to_json(str(path)) == len(report.segments)
+    assert json.loads(path.read_text()) == json.loads(
+        json.dumps(doc))  # JSON-safe
+
+
+def test_detect_from_dict_matches_live_sampler(thrash_report):
+    obs = Observation(sampler=IntervalSampler(interval=100))
+    _run("1b-4VL", "switch_thrash", obs=obs)
+    live = detect_phases(obs.sampler)
+    from_doc = detect_phases(obs.sampler.as_dict())
+    assert live.as_dict() == from_doc.as_dict()
+
+
+def test_format_table(thrash_report):
+    report, _ = thrash_report
+    table = report.format_table()
+    assert "phases:" in table.splitlines()[-1]
+    for name in (SCALAR, SWITCH, VECTOR):
+        assert name in table

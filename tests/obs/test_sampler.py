@@ -135,3 +135,72 @@ def test_dve_occupancy_columns():
     # on a 1bDV system the queue columns track the DVE's cmdq / lines
     assert max(s.series("uopq") + s.series("dataq") + [0]) >= 0
     assert sum(s.series("d_instrs_big")) > 0
+
+
+# ------------------------------------------------------------ energy columns
+
+
+from repro.obs.sampler import ENERGY_COLUMNS  # noqa: E402
+
+
+def test_energy_columns_opt_in(sampled_run):
+    obs, _ = sampled_run
+    for col in ENERGY_COLUMNS:
+        assert col not in obs.sampler.columns
+    withe = Observation(sampler=IntervalSampler(interval=200,
+                                                energy=("b1", "l1")))
+    _run("1b-4VL", "saxpy", obs=withe)
+    for col in ENERGY_COLUMNS:
+        assert col in withe.sampler.columns
+    assert withe.sampler.as_dict()["energy_levels"] == ["b1", "l1"]
+
+
+@pytest.mark.parametrize("system_name", ["1b-4VL", "1bDV", "1bIV-4L"])
+def test_cumulative_energy_reconciles_bit_exact(system_name):
+    from repro.power import energy_j, system_power_w
+
+    obs = Observation(sampler=IntervalSampler(interval=200,
+                                              energy=("b2", "l1")))
+    result = _run(system_name, "saxpy", obs=obs)
+    cfg = preset(system_name)
+    total = energy_j(result["time_ps"],
+                     system_power_w(system_name, "b2", "l1",
+                                    n_little=cfg.n_little or 4))
+    assert obs.sampler.series("cum_energy_j")[-1] == total
+
+
+def test_energy_level_normalization():
+    assert IntervalSampler(energy=True).energy == ("b1", "l1")
+    assert IntervalSampler(energy={"big": "b3"}).energy == ("b3", "l1")
+    assert IntervalSampler(energy=["b0", "l2"]).energy == ("b0", "l2")
+    with pytest.raises(ConfigError):
+        IntervalSampler(energy=("b1",))
+
+
+def test_energy_series_deterministic_under_skip():
+    cfg = preset("1b-4VL")
+    program = _program_for(cfg, get_workload("switch_thrash", "tiny"))
+    docs = []
+    for skip in (True, False):
+        obs = Observation(sampler=IntervalSampler(interval=100,
+                                                  energy=("b1", "l1")))
+        System(preset("1b-4VL")).run(program, obs=obs, skip=skip)
+        docs.append(obs.sampler.as_dict())
+    assert docs[0] == docs[1]
+
+
+def test_final_partial_interval_uses_actual_width():
+    # one interval longer than the whole run: the single flush sample's
+    # rates must be normalized by the true (fractional-cycle) run length,
+    # not the floored whole-interval count
+    obs = Observation(sampler=IntervalSampler(interval=10_000_000))
+    result = _run("1b-4VL", "saxpy", obs=obs)
+    s = obs.sampler
+    assert s.samples == 1
+    width = result["time_ps"] / 1000.0
+    assert s.series("d_instrs_big")[0] == result["big0.instrs"]
+    assert s.series("ipc_big")[0] == round(result["big0.instrs"] / width, 6)
+    lines = (result["dram.reads"] + result["dram.writes"]
+             if "dram.reads" in result.stats else
+             s.series("d_dram_reads")[0] + s.series("d_dram_writes")[0])
+    assert s.series("dram_gbps")[0] == round(64.0 * lines / width, 6)
