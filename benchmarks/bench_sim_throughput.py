@@ -7,15 +7,19 @@ Not collected by pytest (no ``test_`` prefix) — run directly:
     PYTHONPATH=src python benchmarks/bench_sim_throughput.py --check \
         benchmarks/sim_throughput_baseline.json
 
-Each (workload, system) pair runs two interleaved arms of the same
+Each (workload, system) pair runs three interleaved arms of the same
 simulation:
 
-* **on**  — the quiescence-skipping scheduler enabled (the default);
-* **off** — ``run(..., skip=False)``, grinding through every tick.
+* **event**  — the per-unit event-driven core (``loop="event"``, the
+  default);
+* **legacy** — the probe-every-span quiescence scheduler
+  (``loop="legacy"``);
+* **dense**  — ``run(..., skip=False)``, grinding through every tick.
 
-Both arms produce bit-identical stats apart from the ``sim.ticks_*``
-executed/skipped split, so their wall-time ratio isolates the scheduler.
-The workload grid covers the three regimes the scheduler was built for:
+All arms produce bit-identical stats apart from the ``sim.ticks_*``
+executed/skipped split, so wall-time ratios against the dense arm
+isolate each scheduler. The workload grid covers the three regimes the
+schedulers were built for:
 
 * ``saxpy``         — a dense vector kernel (little idle time; the guard
   checks skipping never *costs* throughput here);
@@ -25,9 +29,12 @@ The workload grid covers the three regimes the scheduler was built for:
   stride: the core blocks on DRAM for ~100-tick stretches.
 
 Absolute wall time is machine-dependent, so ``--check`` guards the
-machine-relative **off/on speedup**: the geometric mean over the whole
-grid must not fall more than ``--tolerance`` (default 10%) below its
-recorded baseline. Individual pairs are reported but not gated — single
+machine-relative **dense/skip speedup** per loop: each loop's geometric
+mean over the whole grid must not fall more than ``--tolerance``
+(default 10%) below its recorded baseline. A pre-event-core baseline
+(single recorded geomean, no per-loop split) gates *both* loops against
+the same figure — the re-baseline flow requires both to clear the old
+bar first. Individual pairs are reported but not gated — single
 (workload, system) speedups swing ±15% run to run, while the geomean is
 stable to a couple of percent.
 """
@@ -49,6 +56,7 @@ from bench_pipeview_overhead import emit_bench_json
 SYSTEMS = ("1b-4VL", "1bIV-4L", "1bDV")
 SCALE = "small"
 DOMAINS = ("big", "little", "mem")
+LOOPS = ("event", "legacy")
 
 #: ``switch_thrash`` / ``dram_chain`` now live in the workload registry
 #: (``repro.workloads.synthetic``) with larger per-scale defaults sized
@@ -69,13 +77,19 @@ def _program(workload, cfg):
 
 WORKLOADS = ("saxpy", "switch_thrash", "dram_chain")
 
+#: measurement arms: two schedulers plus the dense reference
+_ARMS = ("event", "legacy", "dense")
 
-def _one_run(workload, system_name, skip):
+
+def _one_run(workload, system_name, arm):
     cfg = preset(system_name)
     program = _program(workload, cfg)
     system = System(cfg)
     t0 = time.perf_counter()
-    result = system.run(program, skip=skip)
+    if arm == "dense":
+        result = system.run(program, skip=False)
+    else:
+        result = system.run(program, loop=arm)
     wall = time.perf_counter() - t0
     ticks = sum(result.stats[f"sim.ticks_{d}"] for d in DOMAINS)
     skipped = sum(result.stats[f"sim.ticks_skipped_{d}"] for d in DOMAINS)
@@ -84,30 +98,38 @@ def _one_run(workload, system_name, skip):
 
 def measure(repeats):
     """Best-of-``repeats`` wall time per (workload, system, arm),
-    interleaved so frequency scaling and cache warmth hit both arms
+    interleaved so frequency scaling and cache warmth hit all arms
     equally."""
     out = {}
     for workload in WORKLOADS:
         for system_name in SYSTEMS:
-            _one_run(workload, system_name, True)  # warm traces and caches
-            best = {True: float("inf"), False: float("inf")}
-            ticks = skipped = 0
+            _one_run(workload, system_name, "event")  # warm traces/caches
+            best = {arm: float("inf") for arm in _ARMS}
+            split = {}
             for _ in range(repeats):
-                for skip in (True, False):
-                    wall, t, s = _one_run(workload, system_name, skip)
-                    best[skip] = min(best[skip], wall)
-                    if skip:
-                        ticks, skipped = t, s
+                for arm in _ARMS:
+                    wall, t, s = _one_run(workload, system_name, arm)
+                    best[arm] = min(best[arm], wall)
+                    if arm != "dense":
+                        split[arm] = (t, s)
+            ticks, skipped = split["event"]
             total = ticks + skipped
-            out[(workload, system_name)] = {
-                "on_wall_s": best[True],
-                "off_wall_s": best[False],
-                "speedup": best[False] / best[True],
-                "on_ticks_per_s": total / best[True],
-                "off_ticks_per_s": total / best[False],
-                "skipped_frac": skipped / total if total else 0.0,
+            m = {
+                "dense_wall_s": best["dense"],
+                "ticks_total": total,
             }
+            for loop in LOOPS:
+                t, s = split[loop]
+                m[f"{loop}_wall_s"] = best[loop]
+                m[f"{loop}_speedup"] = best["dense"] / best[loop]
+                m[f"{loop}_skipped_frac"] = s / (t + s) if (t + s) else 0.0
+            m["event_vs_legacy"] = best["legacy"] / best["event"]
+            out[(workload, system_name)] = m
     return out
+
+
+def _geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
 def main(argv=None):
@@ -116,8 +138,8 @@ def main(argv=None):
     ap.add_argument("--record", metavar="PATH",
                     help="write the measured speedups as the new baseline")
     ap.add_argument("--check", metavar="PATH",
-                    help="fail (exit 1) if a speedup falls below this "
-                         "baseline by more than --tolerance")
+                    help="fail (exit 1) if a loop's geomean speedup falls "
+                         "below this baseline by more than --tolerance")
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="allowed relative speedup drop (default 0.10)")
     ap.add_argument("--bench-json", metavar="PATH",
@@ -126,24 +148,33 @@ def main(argv=None):
     args = ap.parse_args(argv)
 
     results = measure(args.repeats)
-    print(f"quiescence skipping, best of {args.repeats} per arm:")
-    print(f"  {'workload':14s} {'system':9s} {'on':>9s} {'off':>9s} "
-          f"{'speedup':>8s} {'skipped':>8s} {'Mticks/s':>9s}")
+    print(f"run-loop throughput, best of {args.repeats} per arm:")
+    print(f"  {'workload':14s} {'system':9s} {'event':>9s} {'legacy':>9s} "
+          f"{'dense':>9s} {'ev-spd':>7s} {'lg-spd':>7s} {'ev/lg':>6s}")
     for (workload, system_name), m in results.items():
         print(f"  {workload:14s} {system_name:9s} "
-              f"{m['on_wall_s'] * 1000:7.1f}ms {m['off_wall_s'] * 1000:7.1f}ms "
-              f"{m['speedup']:7.2f}x {m['skipped_frac']:7.1%} "
-              f"{m['on_ticks_per_s'] / 1e6:9.2f}")
+              f"{m['event_wall_s'] * 1000:7.1f}ms "
+              f"{m['legacy_wall_s'] * 1000:7.1f}ms "
+              f"{m['dense_wall_s'] * 1000:7.1f}ms "
+              f"{m['event_speedup']:6.2f}x {m['legacy_speedup']:6.2f}x "
+              f"{m['event_vs_legacy']:5.2f}x")
 
-    speedups = {f"{w}:{s}": round(m["speedup"], 4)
-                for (w, s), m in results.items()}
-    geomean = math.exp(sum(math.log(v) for v in speedups.values())
-                       / len(speedups))
-    print(f"  geomean speedup: {geomean:.3f}x")
+    speedups = {loop: {f"{w}:{s}": round(m[f"{loop}_speedup"], 4)
+                       for (w, s), m in results.items()}
+                for loop in LOOPS}
+    geomeans = {loop: _geomean(list(speedups[loop].values()))
+                for loop in LOOPS}
+    synth = [m["event_vs_legacy"] for (w, _), m in results.items()
+             if w in ("switch_thrash", "dram_chain")]
+    print(f"  geomean speedup: event {geomeans['event']:.3f}x, "
+          f"legacy {geomeans['legacy']:.3f}x")
+    print(f"  geomean event-vs-legacy on synthetics: "
+          f"{_geomean(synth):.3f}x")
     if args.record:
         payload = {"scale": SCALE, "repeats": args.repeats,
-                   "geomean_speedup": round(geomean, 4),
-                   "speedups": speedups}
+                   "loops": {loop: {
+                       "geomean_speedup": round(geomeans[loop], 4),
+                       "speedups": speedups[loop]} for loop in LOOPS}}
         with open(args.record, "w") as f:
             json.dump(payload, f, indent=2)
             f.write("\n")
@@ -152,12 +183,14 @@ def main(argv=None):
         for (workload, system_name), m in results.items():
             emit_bench_json(
                 args.bench_json, f"sim_throughput:{workload}:{system_name}",
-                {"on_wall_s": round(m["on_wall_s"], 5),
-                 "off_wall_s": round(m["off_wall_s"], 5),
-                 "speedup": round(m["speedup"], 4),
-                 "skipped_frac": round(m["skipped_frac"], 4),
-                 "on_ticks_per_s": round(m["on_ticks_per_s"], 1),
-                 "off_ticks_per_s": round(m["off_ticks_per_s"], 1)},
+                {"event_wall_s": round(m["event_wall_s"], 5),
+                 "legacy_wall_s": round(m["legacy_wall_s"], 5),
+                 "dense_wall_s": round(m["dense_wall_s"], 5),
+                 "event_speedup": round(m["event_speedup"], 4),
+                 "legacy_speedup": round(m["legacy_speedup"], 4),
+                 "event_vs_legacy": round(m["event_vs_legacy"], 4),
+                 "event_skipped_frac": round(m["event_skipped_frac"], 4),
+                 "legacy_skipped_frac": round(m["legacy_skipped_frac"], 4)},
                 {"system": system_name, "workload": workload,
                  "scale": SCALE, "repeats": args.repeats})
         print(f"merged results into {args.bench_json}")
@@ -166,20 +199,27 @@ def main(argv=None):
     if args.check:
         with open(args.check) as f:
             base = json.load(f)
-        baseline = base["geomean_speedup"]
-        limit = baseline * (1.0 - args.tolerance)
-        verdict = "OK" if geomean >= limit else "FAIL"
-        print(f"  guard geomean speedup: {geomean:.3f}x vs limit "
-              f"{limit:.3f}x (baseline {baseline:.3f}x "
-              f"-{args.tolerance:.0%}) -> {verdict}")
-        if geomean < limit:
-            rc = 1
+        if "loops" in base:
+            bases = {loop: base["loops"][loop]["geomean_speedup"]
+                     for loop in LOOPS}
+        else:
+            # pre-event-core baseline: one legacy figure gates both loops
+            bases = {loop: base["geomean_speedup"] for loop in LOOPS}
+        for loop in LOOPS:
+            limit = bases[loop] * (1.0 - args.tolerance)
+            ok = geomeans[loop] >= limit
+            print(f"  guard [{loop}] geomean speedup: "
+                  f"{geomeans[loop]:.3f}x vs limit {limit:.3f}x "
+                  f"(baseline {bases[loop]:.3f}x -{args.tolerance:.0%}) "
+                  f"-> {'OK' if ok else 'FAIL'}")
+            if not ok:
+                rc = 1
         if rc:
-            print("sim-throughput regression: the quiescence-skipping "
-                  "scheduler lost ground against the forced-off loop; "
-                  "check for new per-iteration work ahead of the probe, "
-                  "next_work_ps hooks returning 0 too eagerly, or skip "
-                  "spans being clamped harder than before.")
+            print("sim-throughput regression: a scheduler lost ground "
+                  "against the forced-off loop; check for new "
+                  "per-iteration work ahead of the probe, next_work_ps "
+                  "hooks returning 0 too eagerly, or skip spans being "
+                  "clamped harder than before.")
     return rc
 
 

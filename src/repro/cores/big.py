@@ -95,7 +95,7 @@ class BigCore:
         "_complete_seq", "_front_avail", "_cur_line", "_fetch_blocked_on",
         "_sb", "_sb_waiting", "_outstanding", "breakdown", "instrs",
         "vector_instrs", "vector_dispatches", "obs", "_pv", "_obs_rob",
-        "_ivu_port_free", "_now_hint",
+        "_ivu_port_free", "_now_hint", "_ev_notify",
     )
 
     def __init__(
@@ -159,6 +159,9 @@ class BigCore:
         self._obs_rob = None
         self._ivu_port_free = 0
         self._now_hint = 0  # updated by the system each cycle, for callbacks
+        # event-loop wakeup: called at every asynchronous input (fills,
+        # engine responses) before the callback mutates core state
+        self._ev_notify = None
 
     # --------------------------------------------------------- observability
 
@@ -229,6 +232,9 @@ class BigCore:
             self._cur_line = None
 
     def _ifill(self, line, ready):
+        n = self._ev_notify
+        if n is not None:
+            n()
         self._front_avail = ready
 
     # ------------------------------------------------------- skip scheduling
@@ -259,7 +265,17 @@ class BigCore:
             e = self._rob[0]
             ins = e.ins
             if e.completed:
-                return 0  # head would retire (or retry a full store buffer)
+                if (not ins.is_vector and ins.op == Op.CSRRW
+                        and self.vector_mode == "decoupled"
+                        and not self.engine.idle()):
+                    # mode-switch retire waits for the engine drain
+                    # (§III-B): blocked purely on the engine, whose own
+                    # activity bounds the wait — fall through so the
+                    # remaining stages can still claim their own work
+                    pass
+                else:
+                    return 0  # head would retire (or retry a full
+                    # store buffer, which the top _sb check covers)
             if (ins.is_vector and self.vector_mode == "decoupled"
                     and not e.dispatched and e.deps == 0):
                 if not (ins.op == VOp.VMFENCE
@@ -287,10 +303,15 @@ class BigCore:
                     return 0  # front end would fetch next tick
         return bound
 
-    def skip_ticks(self, n):
+    def skip_ticks(self, n, now=None):
         """Replay the per-tick constant effects of ``n`` provably idle
         ticks (guaranteed by ``next_work_ps``): the commit stage charges
-        one idle-cycle attribution per cycle even when nothing moves."""
+        one idle-cycle attribution per cycle even when nothing moves.
+
+        ``now`` is accepted for interface uniformity with the other
+        ticking units (the event core calls every unit's ``skip_ticks``
+        with the span's first tick time); the big core's attribution is
+        time-independent, so it is unused."""
         self.breakdown.add(Stall.MISC, n)
         if self.obs is not None:
             self.obs.cycle(self._commit_stall_kind(), n)
@@ -459,6 +480,9 @@ class BigCore:
         self._outstanding += 1
 
         def waiter(line, ready):
+            n = self._ev_notify
+            if n is not None:
+                n()
             self._outstanding -= 1
             self._schedule_completion(entry, max(ready, self._now_hint))
 
@@ -527,6 +551,9 @@ class BigCore:
         self._outstanding += 1
 
         def waiter(line, ready):
+            n = self._ev_notify
+            if n is not None:
+                n()
             self._outstanding -= 1
             entry.pending_chunks -= 1
             if entry.pending_chunks == 0:
@@ -606,6 +633,9 @@ class BigCore:
     def _vector_response(self, entry):
         def respond(ready_time):
             """Engine callback: the scalar result arrives at ``ready_time``."""
+            n = self._ev_notify
+            if n is not None:
+                n()
             self._schedule_completion(entry, max(ready_time, self._now_hint))
 
         return respond
@@ -633,6 +663,9 @@ class BigCore:
         self._outstanding += 1
 
         def waiter(line, ready):
+            n = self._ev_notify
+            if n is not None:
+                n()
             self._outstanding -= 1
 
         return waiter

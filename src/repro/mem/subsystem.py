@@ -39,8 +39,8 @@ class MemorySystem:
     """DRAM + shared L2 + per-core private L1I/L1D caches."""
 
     __slots__ = ("line_bytes", "dram", "l2", "big_l1i", "big_l1d",
-                 "little_l1i", "little_l1d", "_all_l1", "_raw_ports",
-                 "obs", "_l2_obs", "_dram_obs")
+                 "little_l1i", "little_l1d", "_all_l1", "_l1_queues",
+                 "_raw_ports", "obs", "_l2_obs", "_dram_obs")
 
     def __init__(
         self,
@@ -94,6 +94,9 @@ class MemorySystem:
         self.little_l1i = [mk(f"lit{i}.l1i", True, False) for i in range(n_little)]
         self.little_l1d = [mk(f"lit{i}.l1d", False, False) for i in range(n_little)]
         self._all_l1 = self.big_l1i + self.big_l1d + self.little_l1i + self.little_l1d
+        # response queues in a flat list: next_work_ps is the event
+        # core's hottest probe and scans these on every memory re-arm
+        self._l1_queues = [c.resp_queue for c in self._all_l1]
         self._raw_ports = []
         self.obs = None  # Observation handle; hooks stay a cheap None check
 
@@ -136,18 +139,22 @@ class MemorySystem:
         schedule (and with it the sim.ticks_* executed/skipped split) must
         not change when obs is attached. Pure."""
         bound = _INF
-        for c in self._all_l1:
-            t = c.resp_queue.next_time()
-            if t is not None:
+        for q in self._l1_queues:
+            dq = q._q  # hot path: inlined DelayQueue.next_time()
+            if dq:
+                t = dq[0][0]
                 if t <= now:
                     return 0  # a fill would install next tick
                 if t < bound:
                     bound = t
-        t = self.l2.next_idle_ps(now)
-        if t and t < bound:
+        # inlined l2.next_idle_ps / dram.next_idle_ps: this probe runs on
+        # every memory re-arm, so the two busy->idle flips read the
+        # underlying fields directly
+        t = max(self.l2._bank_free)
+        if now < t < bound:
             bound = t
-        t = self.dram.next_idle_ps(now)
-        if t and t < bound:
+        t = self.dram._next_free
+        if now < t < bound:
             bound = t
         return bound
 

@@ -1,6 +1,8 @@
-"""SoC assembly: configurations, system builder, simulation loop."""
+"""SoC assembly: configurations, system builder, simulation loops."""
 
 from repro.soc.config import MemConfig, SoCConfig, SYSTEM_NAMES, preset
+from repro.soc.events import EventQueue
 from repro.soc.system import System, build_system
 
-__all__ = ["MemConfig", "SoCConfig", "SYSTEM_NAMES", "preset", "System", "build_system"]
+__all__ = ["MemConfig", "SoCConfig", "SYSTEM_NAMES", "preset", "System",
+           "build_system", "EventQueue"]

@@ -1,0 +1,710 @@
+"""Event-driven simulation core: per-unit pending-event scheduling.
+
+The quiescence-skipping loop (``System.run(..., loop="legacy")``) probes
+every unit each span and still executes *every* unit on every active
+cycle, so one busy unit (a DRAM burst, a vector chime) forces the whole
+SoC to tick densely. This module replaces that loop with a per-unit
+event core: each ticking component owns a pending-event entry keyed on
+picoseconds — the first domain-grid tick at or after its own
+``next_work_ps()`` bound — and only units whose entry is due at the
+current iteration time execute. Idle units cost *nothing* per
+iteration: their per-cycle obs/breakdown charges are deferred and
+settled in bulk the moment their state is about to change.
+
+Correctness contract (same as docs/performance.md, carried over from
+the skipping scheduler):
+
+* every stat except the ``sim.ticks_*`` executed/skipped split is
+  bit-identical to ``run(skip=False)``;
+* ``sim.ticks_X + sim.ticks_skipped_X`` equals the dense arm's
+  executed tick count per domain;
+* IntervalSampler boundaries, the deadlock watchdog, and the ``max_ns``
+  horizon are serviced at exactly the union-grid instants the dense
+  loop would visit, so sample series and ``DeadlockError`` timestamps
+  never move;
+* loop selection is a run-time knob only — never part of ``SoCConfig``
+  or cache keys.
+
+Determinism rules (docs/performance.md has the full wakeup graph):
+
+1. **Ground order.** Within one iteration at time ``T`` units are
+   serviced in the dense loop's order — big cores, big-domain engine,
+   little cores, little-domain engine, memory — so every executed tick
+   sees exactly the state the dense loop's tick at ``T`` would have.
+2. **Settle before mutate.** An idle unit's per-cycle charges are
+   deferred; every path that can change state a unit's attribution or
+   bound reads first *settles* the deferred window (``skip_ticks`` in
+   one chunk, against the still-unchanged state) and only then mutates.
+   Asynchronous inputs do this through ``_ev_notify`` hooks planted at
+   the component seams: ``L2Cache.request`` (the single entry point
+   into the memory side), the L1 fill waiters of both core types and
+   the VMU, and ``dispatch``/``end_region`` on both engines.
+3. **Re-arm on wakeup.** The same hooks invalidate the sleeping unit's
+   cached bound, so it re-probes before it is next scheduled. The one
+   dependency with no push seam — a big core armed on the engine's
+   ``next_accept_ps`` — keeps a static wakeup edge: every executed
+   engine tick dirties its big cores. Probes are pure, so a spurious
+   wakeup can never change state.
+4. **Ties break by unit id.** Equal-time events are serviced by
+   ascending unit id, which is ground order by construction.
+
+Work-stealing programs (``pure_peek=False`` sources) couple every core
+through the shared task queues, so the event core runs them fully
+dense: every unit is due every tick and nothing is ever skipped.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+from repro.errors import DeadlockError
+from repro.vector import DecoupledVectorEngine, VLittleEngine
+
+_INF = 1 << 60
+
+#: Deadlock-watchdog window in ps (must exceed any legitimate idle
+#: period, e.g. a long mode-switch penalty). Shared with the legacy
+#: loop so DeadlockError timestamps are identical across loops.
+WATCHDOG_PS = 20_000_000
+
+_BIG, _LITTLE, _MEM = 0, 1, 2
+
+
+class EventQueue:
+    """Min-heap of per-unit pending events with lazy cancellation.
+
+    Each unit owns at most one *armed* event — ``schedule`` re-arms it
+    (cancelling any previous time) and ``cancel`` disarms it. Stale heap
+    entries are dropped lazily on ``peek``/``pop``. Ties on the event
+    time are broken deterministically by ascending unit id, which the
+    event core assigns in ground (dense-loop) service order.
+    """
+
+    __slots__ = ("_heap", "_armed")
+
+    def __init__(self, n_units):
+        self._heap = []
+        self._armed = [None] * n_units  # armed time per unit, None = idle
+
+    def schedule(self, unit_id, t_ps):
+        """Arm (or re-arm) ``unit_id``'s pending event at ``t_ps``."""
+        if self._armed[unit_id] == t_ps:
+            return  # already armed at this time: the entry stays valid
+        self._armed[unit_id] = t_ps
+        heapq.heappush(self._heap, (t_ps, unit_id))
+
+    def cancel(self, unit_id):
+        """Disarm ``unit_id``; its heap entry (if any) goes stale."""
+        self._armed[unit_id] = None
+
+    def armed_time(self, unit_id):
+        """Currently armed time for ``unit_id``, or None."""
+        return self._armed[unit_id]
+
+    def peek(self):
+        """``(t_ps, unit_id)`` of the earliest armed event, else None."""
+        heap = self._heap
+        while heap:
+            t, uid = heap[0]
+            if self._armed[uid] == t:
+                return heap[0]
+            heapq.heappop(heap)  # stale: cancelled or re-armed elsewhere
+        return None
+
+    def pop(self):
+        """Pop and disarm the earliest armed event; None when empty."""
+        ent = self.peek()
+        if ent is None:
+            return None
+        heapq.heappop(self._heap)
+        self._armed[ent[1]] = None
+        return ent
+
+    def __len__(self):
+        """Number of armed units (stale heap entries don't count)."""
+        return sum(1 for t in self._armed if t is not None)
+
+    def __bool__(self):
+        return self.peek() is not None
+
+
+class _Unit:
+    """Event-core bookkeeping for one ticking component.
+
+    A unit is in exactly one scheduling state: *ready* (``exec_at == 0``
+    — due at every tick of its domain until re-armed), *timed*
+    (``exec_at`` holds the armed grid instant, mirrored in its domain's
+    event heap) or *asleep* (``exec_at == _INF`` — waiting on a wakeup).
+    ``charged`` is the first domain-grid slot whose per-cycle charge is
+    still deferred; the settle discipline (module docstring, rule 2)
+    guarantees the unit's attribution inputs are untouched over the
+    whole deferred window, so one chunked ``skip_ticks`` replays it.
+    """
+
+    __slots__ = ("uid", "name", "domain", "owner", "tick", "probe", "skip",
+                 "exec_at", "charged", "dirty", "pending", "wakes",
+                 "streak", "no_probe", "executed")
+
+    def __init__(self, uid, name, domain, owner, tick, probe, skip):
+        self.uid = uid
+        self.name = name
+        self.domain = domain
+        self.owner = owner  # object carrying the ``_ev_notify`` hook slot
+        self.tick = tick
+        self.probe = probe  # pure next_work_ps(now)
+        self.skip = skip  # skip_ticks(n, now) compensation
+        self.exec_at = 0  # everything is due at t=0, like the dense loop
+        self.charged = 0  # first slot with a still-deferred cycle charge
+        self.dirty = False  # cached bound invalidated by a wakeup
+        self.pending = False  # queued for the end-of-iteration re-arm pass
+        self.wakes = ()  # static wakeup edges (engine -> its big cores)
+        self.streak = 0  # consecutive due-next-tick probe results
+        self.no_probe = 0  # remaining assume-due re-arms (probe backoff)
+        self.executed = 0  # executed-tick count (META, for diagnostics)
+
+
+def _build_units(system):
+    """Assemble the per-unit table in ground (dense-loop) order; wire the
+    static wakeup edge (engine accept-time -> big cores) — every other
+    dependency re-arms through an ``_ev_notify`` push hook.
+
+    Returns ``(units, statics)``. Static units are little cores
+    reconfigured as vector lanes (``active`` cleared at engine
+    construction, before any run, and never set again): they hold no
+    runtime state, receive no inputs and never do work, so the service
+    loops skip them entirely and only the bulk settle passes charge
+    their constant per-cycle attribution.
+    """
+    units = []
+    statics = []
+
+    def add(name, domain, owner, tick, probe, skip, static=False):
+        u = _Unit(len(units) + len(statics), name, domain, owner, tick,
+                  probe, skip)
+        if static:
+            u.exec_at = _INF  # permanently quiescent: settle-only
+            statics.append(u)
+        else:
+            units.append(u)
+        return u
+
+    engine = system.engine
+    big_units = [
+        add(c.core_id, _BIG, c, c.tick, c.next_work_ps, c.skip_ticks)
+        for c in system.bigs
+    ]
+    engine_unit = None
+    if isinstance(engine, DecoupledVectorEngine):
+        engine_unit = add("dve", _BIG, engine, engine.tick,
+                          engine.next_work_ps, engine.skip_ticks)
+    for c in system.littles:
+        add(c.core_id, _LITTLE, c, c.tick, c.next_work_ps, c.skip_ticks,
+            static=not c.active)
+    if isinstance(engine, VLittleEngine):
+        engine_unit = add("vcu", _LITTLE, engine, engine.tick,
+                          engine.next_work_ps, engine.skip_ticks)
+    ms = system.ms
+    # the L2 is the single request-side entry point into the memory
+    # subsystem, so it carries the memory unit's push hook
+    add("mem", _MEM, ms.l2, ms.tick, ms.next_work_ps, ms.skip_ticks)
+
+    # a big core can sleep on the engine's next_accept_ps, which the
+    # engine's own execution may pull earlier — no push seam exists for
+    # that, so it stays a static wakeup edge
+    if engine_unit is not None:
+        engine_unit.wakes = tuple(big_units)
+    return units, statics
+
+
+
+def _settle_all(units, tb, tl, tm, periods):
+    """Charge every still-deferred idle slot (needed before anything
+    reads obs state: sampler boundaries, run results, deadlock exits).
+    Valid at any time — the settle-before-mutate discipline guarantees
+    each deferred window saw no input since it began."""
+    for u in units:
+        d = u.domain
+        target = tb if d == 0 else (tl if d == 1 else tm)
+        c = u.charged
+        if c < target:
+            p = periods[d]
+            u.skip((target - c) // p, c)
+            u.charged = target
+
+
+def run_event_loop(system, max_ns):
+    """Drive ``system`` to completion with the per-unit event core.
+
+    Mirrors ``System.run``'s dense semantics exactly (see module
+    docstring); returns the same :class:`RunResult` and raises the same
+    :class:`DeadlockError` timestamps.
+    """
+    pb, pl, pm = periods = (system._pb, system._pl, system._pm)
+    units, statics = _build_units(system)
+    allunits = units + statics
+    bunits = [u for u in units if u.domain == _BIG]
+    lunits = [u for u in units if u.domain == _LITTLE]
+    munits = [u for u in units if u.domain == _MEM]
+    bigs = system.bigs
+    big1 = bigs[0] if len(bigs) == 1 else None
+    # single-unit domains (always mem; big/little in most presets) keep
+    # their cached minimum exact — the unit's own armed instant — and
+    # bypass the heap, the armed[] table and the stale re-peek entirely
+    b1 = bunits[0] if len(bunits) == 1 else None
+    l1u = lunits[0] if len(lunits) == 1 else None
+    m1 = munits[0] if len(munits) == 1 else None
+    # one heap per domain so an idle domain's whole service block can be
+    # skipped with a handful of integer checks; armed times per unit
+    heap0, heap1, heap2 = [], [], []
+    armed = [None] * len(allunits)
+    # every serviced unit starts ready: the dense loop ticks them at t=0
+    rn0, rn1, rn2 = len(bunits), len(lunits), len(munits)
+    dirty_n = [0, 0, 0]
+    # work-stealing sources have impure peeks and couple every core
+    # through the shared task queues: run fully dense, never skip
+    dense = system.runtime is not None
+
+    tb = tm = 0  # per-domain clocks: next unserviced grid tick
+    # a little domain with no *dynamic* units never executes: park its
+    # clock at infinity so every per-iteration check falls through, and
+    # derive its slot count from the exit time. With static units
+    # (cores reconfigured as vector lanes) this is only sound when the
+    # little grid adds no union-grid instants of its own — boundary
+    # timestamps (sampler, watchdog) must not move — so it is gated on
+    # the little period being a multiple of another domain's.
+    has_l_static = any(u.domain == _LITTLE for u in statics)
+    if lunits or (has_l_static and pl % pb != 0 and pl % pm != 0):
+        tl = 0
+    else:
+        tl = _INF
+    # cached per-domain heap minima: lower bounds on the true minima,
+    # re-peeked lazily after an iteration consumes (or disproves) them
+    hm0 = hm1 = hm2 = _INF
+    executed = [0, 0, 0]
+    max_ps = max_ns * 1000
+    sampler = system.obs.sampler if system.obs is not None else None
+    next_sample = sampler.interval_ps if sampler is not None else max_ps + 1
+    wd_target = WATCHDOG_PS
+    # fused lower bound on the next boundary instant: one compare per
+    # iteration covers sampler, watchdog and horizon together
+    bmin = min(next_sample, wd_target, max_ps)
+    last_instrs = -1
+    done = system._done
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+    system._done_blocker = None
+    system._ticks_big = system._ticks_little = system._ticks_mem = 0
+    system._skipped_big = system._skipped_little = system._skipped_mem = 0
+    system._wall_t0 = time.perf_counter()
+
+    # hook context shared with the _ev_notify closures:
+    # [T, ticking unit id, big clock, little clock, mem clock]
+    hctx = [0, -1, 0, 0, 0]
+    pend = []  # units awaiting the end-of-iteration re-arm pass
+
+    def make_hook(u):
+        d = u.domain
+        p = periods[d]
+        skip = u.skip
+
+        def hook():
+            # an input is about to mutate this unit's state: settle the
+            # deferred charge window first, against the pre-input state —
+            # up to and including the slot at T once the unit's ground-
+            # order turn this iteration has passed, else up to T
+            upto = hctx[2 + d]
+            if upto == hctx[0] and u.uid < hctx[1]:
+                upto += p
+            c = u.charged
+            if c < upto:
+                skip((upto - c) // p, c)
+                u.charged = upto
+            if not u.dirty:
+                u.dirty = True
+                dirty_n[d] += 1
+                if not u.pending:
+                    u.pending = True
+                    pend.append(u)
+
+        return hook
+
+    if not dense:
+        for u in units:
+            u.owner._ev_notify = make_hook(u)
+
+    def settle_meta(t_exit):
+        # every domain-grid slot in [0, t_exit] is serviced exactly once
+        # (bulk-skipped, closed idle, or executed), and the dense loop
+        # executes all of them — so the skipped count is just the slot
+        # count minus the executed count, with no per-iteration
+        # bookkeeping in the hot loop
+        system._ticks_big, system._ticks_little, system._ticks_mem = executed
+        system._skipped_big = t_exit // pb + 1 - executed[0]
+        system._skipped_little = t_exit // pl + 1 - executed[1]
+        system._skipped_mem = t_exit // pm + 1 - executed[2]
+        system._event_unit_ticks = {u.name: u.executed for u in allunits}
+
+    try:
+        while True:
+            # ---- select T: earliest pending event across ready units
+            # (due at their domain's next tick) and the per-domain heaps
+            T = _INF
+            if rn0:
+                T = tb
+            if rn1 and tl < T:
+                T = tl
+            if rn2 and tm < T:
+                T = tm
+            if hm0 < T:
+                T = hm0
+            if hm1 < T:
+                T = hm1
+            if hm2 < T:
+                T = hm2
+            # clamp to the instants the dense loop must observe at their
+            # original times. The fast path is one int compare against
+            # the fused boundary bound; the grid math runs only when a
+            # boundary is actually in reach. (All are obs-independent
+            # except the sampler, whose boundary iterations only ever
+            # close slots as skipped — they can never force an
+            # execution, so attaching a sampler cannot perturb the
+            # executed/skipped split.)
+            if T >= bmin:
+                for x in (next_sample, wd_target, max_ps):
+                    if T >= x:
+                        # first still-unserviced union-grid instant >= x
+                        # — exactly where the dense loop would service it
+                        g = tb if tb >= x else tb + (x - tb + pb - 1) // pb * pb
+                        g2 = tl if tl >= x else tl + (x - tl + pl - 1) // pl * pl
+                        if g2 < g:
+                            g = g2
+                        g2 = tm if tm >= x else tm + (x - tm + pm - 1) // pm * pm
+                        if g2 < g:
+                            g = g2
+                        if g < T:
+                            T = g
+
+            # ---- 1. advance domain clocks over the certified-idle span
+            # strictly below T (every unit's bound covers it — T is the
+            # earliest pending event). Per-unit charges stay deferred;
+            # the skipped-slot counts fall out of the closed-form split
+            # in ``settle_meta``, so nothing is tallied here.
+            if tb < T:
+                tb += (T - tb + pb - 1) // pb * pb
+            if tl < T:
+                tl += (T - tl + pl - 1) // pl * pl
+            if tm < T:
+                tm += (T - tm + pm - 1) // pm * pm
+
+            # ---- 2. service every matched domain's slot at T in ground
+            # order (bigs, big-domain engine, littles, little-domain
+            # engine, mem); a matched domain with nothing ready, due or
+            # woken is closed as one skipped cycle without touching its
+            # units. Async callbacks (fills, engine responses) clamp
+            # against the owning big core's now-hint; the dense loop
+            # refreshes it at every big tick, so mirror that even for
+            # sleeping cores.
+            if big1 is not None:  # single big core: skip the loop setup
+                big1._now_hint = T if tb == T else tb - pb
+            elif bigs:
+                nh = T if tb == T else tb - pb
+                for c in bigs:
+                    c._now_hint = nh  # inlined set_now_hint (hot path)
+            hctx[0] = T
+            hctx[2] = tb
+            hctx[3] = tl
+            hctx[4] = tm
+            any_exec = False
+            if tb == T:
+                if rn0 or dirty_n[0] or hm0 == T:
+                    ex = False
+                    for u in bunits:
+                        ea = u.exec_at
+                        if u.dirty and ea > T and not dense:
+                            # woken earlier this iteration: re-probe now,
+                            # exactly like dense order would see it
+                            if not u.probe(T):
+                                ea = u.exec_at = T
+                        if ea <= T:
+                            c = u.charged
+                            if c < T:
+                                u.skip((T - c) // pb, c)
+                            u.charged = T + pb
+                            hctx[1] = u.uid
+                            u.tick(T)
+                            u.executed += 1
+                            ex = True
+                            if not u.pending:
+                                u.pending = True
+                                pend.append(u)
+                            for w in u.wakes:
+                                # ready dependents (exec_at == 0) re-arm
+                                # through their own pend entry every tick
+                                # — only sleeping/timed ones need waking
+                                if w.exec_at:
+                                    if not w.dirty:
+                                        w.dirty = True
+                                        dirty_n[0] += 1
+                                    if not w.pending:
+                                        w.pending = True
+                                        pend.append(w)
+                    if ex:
+                        executed[0] += 1
+                        any_exec = True
+                # advance only after the block: hooks firing during these
+                # ticks must still see the slot at T as unserviced for
+                # units whose ground-order turn hasn't come yet
+                tb += pb
+                hctx[2] = tb
+            if tl == T:
+                if rn1 or dirty_n[1] or hm1 == T:
+                    ex = False
+                    for u in lunits:
+                        ea = u.exec_at
+                        if u.dirty and ea > T and not dense:
+                            if not u.probe(T):
+                                ea = u.exec_at = T
+                        if ea <= T:
+                            c = u.charged
+                            if c < T:
+                                u.skip((T - c) // pl, c)
+                            u.charged = T + pl
+                            hctx[1] = u.uid
+                            u.tick(T)
+                            u.executed += 1
+                            ex = True
+                            if not u.pending:
+                                u.pending = True
+                                pend.append(u)
+                            for w in u.wakes:
+                                if w.exec_at:  # see the big-domain note
+                                    if not w.dirty:
+                                        w.dirty = True
+                                        dirty_n[0] += 1
+                                    if not w.pending:
+                                        w.pending = True
+                                        pend.append(w)
+                    if ex:
+                        executed[1] += 1
+                        any_exec = True
+                tl += pl
+                hctx[3] = tl
+            if tm == T:
+                if rn2 or dirty_n[2] or hm2 == T:
+                    ex = False
+                    for u in munits:
+                        ea = u.exec_at
+                        if u.dirty and ea > T and not dense:
+                            if not u.probe(T):
+                                ea = u.exec_at = T
+                        if ea <= T:
+                            c = u.charged
+                            if c < T:
+                                u.skip((T - c) // pm, c)
+                            u.charged = T + pm
+                            hctx[1] = u.uid
+                            u.tick(T)
+                            u.executed += 1
+                            ex = True
+                            if not u.pending:
+                                u.pending = True
+                                pend.append(u)
+                    if ex:
+                        executed[2] += 1
+                        any_exec = True
+                tm += pm
+                hctx[4] = tm
+            hctx[1] = -1  # ticks are over: hooks settle only below T now
+
+            # ---- 3. re-arm everything that executed or was woken (a
+            # pure wakeup re-probe can only tighten a schedule, never
+            # skip work). Inlined _rearm, hot path first: a unit on a
+            # long always-due streak skips the probe entirely — the
+            # legacy scheduler's adaptive stride, per unit. The ramp is
+            # slow (streak/4) and the cap small (8) so a unit that goes
+            # quiescent over-executes at most 8 ticks — executing is
+            # always safe, only skipping needs the probe's proof — while
+            # sustained busy runs amortize their probe cost away.
+            if pend:
+                for u in pend:
+                    u.pending = False
+                    u.dirty = False
+                    if u.no_probe and not dense:
+                        u.no_probe -= 1
+                        continue  # stays ready (exec_at == 0 holds)
+                    d = u.domain
+                    uid = u.uid
+                    was_ready = u.exec_at == 0
+                    if dense:
+                        ready = True
+                    else:
+                        now = tb if d == 0 else (tl if d == 1 else tm)
+                        b = u.probe(now)
+                        if b <= now:
+                            # due next tick (0, or a stale-past bound)
+                            s = u.streak + 1
+                            u.streak = s
+                            if s >= 4:
+                                n = s >> 2
+                                u.no_probe = n if n < 8 else 8
+                            ready = True
+                        else:
+                            u.streak = 0
+                            ready = False
+                            if b >= _INF:
+                                u.exec_at = _INF  # asleep until woken
+                                if u is b1:
+                                    hm0 = _INF
+                                elif u is l1u:
+                                    hm1 = _INF
+                                elif u is m1:
+                                    hm2 = _INF
+                                elif armed[uid] is not None:
+                                    armed[uid] = None
+                                # a unit with static wake edges going
+                                # quiescent is itself a wakeup: the input
+                                # that re-armed it (e.g. the last VMU
+                                # fill, delivered by a mem tick) may have
+                                # established the very condition — engine
+                                # idle, accept space — its dependents
+                                # sleep on, without any engine tick ever
+                                # firing the execution-time edge
+                                for w in u.wakes:
+                                    if w.exec_at:
+                                        if not w.dirty:
+                                            w.dirty = True
+                                            dirty_n[w.domain] += 1
+                                        if not w.pending:
+                                            w.pending = True
+                                            pend.append(w)
+                            else:
+                                p = periods[d]
+                                t = now + (b - now + p - 1) // p * p
+                                u.exec_at = t
+                                if u is b1:
+                                    hm0 = t  # exact: the only big unit
+                                elif u is l1u:
+                                    hm1 = t
+                                elif u is m1:
+                                    hm2 = t
+                                elif armed[uid] != t:
+                                    armed[uid] = t
+                                    if d == 0:
+                                        heappush(heap0, (t, uid))
+                                        if t < hm0:
+                                            hm0 = t
+                                    elif d == 1:
+                                        heappush(heap1, (t, uid))
+                                        if t < hm1:
+                                            hm1 = t
+                                    else:
+                                        heappush(heap2, (t, uid))
+                                        if t < hm2:
+                                            hm2 = t
+                    if ready:
+                        u.exec_at = 0
+                        if u is b1:
+                            hm0 = _INF
+                        elif u is l1u:
+                            hm1 = _INF
+                        elif u is m1:
+                            hm2 = _INF
+                        elif armed[uid] is not None:
+                            armed[uid] = None
+                        if not was_ready:
+                            if d == 0:
+                                rn0 += 1
+                            elif d == 1:
+                                rn1 += 1
+                            else:
+                                rn2 += 1
+                    elif was_ready:
+                        if d == 0:
+                            rn0 -= 1
+                        elif d == 1:
+                            rn1 -= 1
+                        else:
+                            rn2 -= 1
+                del pend[:]
+                dirty_n[0] = dirty_n[1] = dirty_n[2] = 0
+            # a cached heap minimum equal to T is spent: either its
+            # events were just serviced and re-armed later, or a cancel
+            # left it stale (it is only ever a lower bound) — re-peek,
+            # dropping entries whose armed time moved
+            if hm0 == T:
+                if b1 is not None:
+                    ea = b1.exec_at
+                    hm0 = ea if 0 < ea < _INF else _INF
+                else:
+                    while heap0:
+                        t0, uid0 = heap0[0]
+                        if armed[uid0] == t0:
+                            break
+                        heappop(heap0)
+                    hm0 = heap0[0][0] if heap0 else _INF
+            if hm1 == T:
+                if l1u is not None:
+                    ea = l1u.exec_at
+                    hm1 = ea if 0 < ea < _INF else _INF
+                else:
+                    while heap1:
+                        t0, uid0 = heap1[0]
+                        if armed[uid0] == t0:
+                            break
+                        heappop(heap1)
+                    hm1 = heap1[0][0] if heap1 else _INF
+            if hm2 == T:
+                if m1 is not None:
+                    ea = m1.exec_at
+                    hm2 = ea if 0 < ea < _INF else _INF
+                else:
+                    while heap2:
+                        t0, uid0 = heap2[0]
+                        if armed[uid0] == t0:
+                            break
+                        heappop(heap2)
+                    hm2 = heap2[0][0] if heap2 else _INF
+
+            # ---- 4. boundaries, in the dense loop's order: sample,
+            # done, watchdog, horizon. The fused ``bmin`` bound keeps
+            # the common iteration at one compare; a parked little clock
+            # resolves to the first unserviced little-grid slot whenever
+            # static units' deferred charges are settled.
+            if T < bmin:
+                if any_exec and done():
+                    tlx = tl if tl != _INF else (T // pl + 1) * pl
+                    _settle_all(allunits, tb, tlx, tm, periods)
+                    settle_meta(T)
+                    return system._result(T + max(pb, pl, pm))
+                continue
+            tlx = tl if tl != _INF else (T // pl + 1) * pl
+            if T >= next_sample:
+                _settle_all(allunits, tb, tlx, tm, periods)
+                sampler.sample(T)
+                next_sample = T + sampler.interval_ps
+            if any_exec and done():
+                _settle_all(allunits, tb, tlx, tm, periods)
+                settle_meta(T)
+                return system._result(T + max(pb, pl, pm))
+            if T >= wd_target:
+                wd_target = T + WATCHDOG_PS
+                instrs = system._progress_signature()
+                if instrs == last_instrs:
+                    _settle_all(allunits, tb, tlx, tm, periods)
+                    settle_meta(T)
+                    raise DeadlockError(
+                        T,
+                        f"no instruction progress in system {system.config.name}")
+                last_instrs = instrs
+            if T >= max_ps:
+                _settle_all(allunits, tb, tlx, tm, periods)
+                settle_meta(T)
+                raise DeadlockError(T, f"exceeded max_ns={max_ns}")
+            bmin = next_sample if next_sample < wd_target else wd_target
+            if max_ps < bmin:
+                bmin = max_ps
+    finally:
+        if not dense:
+            for u in units:
+                u.owner._ev_notify = None

@@ -40,7 +40,7 @@ class System:
                  "engine", "runtime", "_pb", "_pl", "_pm", "_name",
                  "_wall_t0", "_ticks_big", "_ticks_little", "_ticks_mem",
                  "_skipped_big", "_skipped_little", "_skipped_mem",
-                 "_done_blocker")
+                 "_done_blocker", "_event_unit_ticks")
 
     def __init__(self, config, obs=None):
         if not isinstance(config, SoCConfig):
@@ -120,6 +120,7 @@ class System:
         self._ticks_big = self._ticks_little = self._ticks_mem = 0
         self._skipped_big = self._skipped_little = self._skipped_mem = 0
         self._done_blocker = None
+        self._event_unit_ticks = None  # per-unit executed ticks (event loop)
         self._wall_t0 = time.perf_counter()
 
     # ------------------------------------------------------------------- run
@@ -182,15 +183,22 @@ class System:
         if obs.sampler is not None:
             obs.sampler.attach(self, obs)
 
-    def run(self, program=None, max_ns=50_000_000, quiet=True, obs=None, skip=True):
+    def run(self, program=None, max_ns=50_000_000, quiet=True, obs=None,
+            skip=True, loop="event"):
         """Simulate to completion; returns a :class:`RunResult`.
 
-        ``skip`` toggles the quiescence-skipping scheduler. It is a run-time
-        knob only — it is deliberately *not* part of :class:`SoCConfig` (it
-        must never change ``canonical_json()`` or cache keys) and every stat
+        ``skip`` toggles idle-time elision entirely; ``loop`` picks the
+        scheduler that performs it: ``"event"`` (default) is the per-unit
+        event-driven core in :mod:`repro.soc.events`, ``"legacy"`` the
+        probe-every-span quiescence-skipping loop. Both are run-time knobs
+        only — deliberately *not* part of :class:`SoCConfig` (they must
+        never change ``canonical_json()`` or cache keys) and every stat
         except the ``sim.ticks_*`` executed/skipped split is bit-identical
-        either way.
+        across all three schedules. ``skip=False`` always runs the dense
+        reference loop that grinds through every tick.
         """
+        if loop not in ("event", "legacy"):
+            raise ConfigError(f"unknown run loop {loop!r}")
         if program is not None:
             self.load(program)
         if obs is None:
@@ -199,6 +207,9 @@ class System:
             # attach after load(): task-parallel programs may bypass the
             # engine, and only surviving components should own obs units
             self._attach_obs(obs)
+        if skip and loop == "event":
+            from repro.soc.events import run_event_loop
+            return run_event_loop(self, max_ns)
         pb, pl, pm = self._pb, self._pl, self._pm
         bigs, littles, engine, ms = self.bigs, self.littles, self.engine, self.ms
         # pre-bound engine tick callables: the engine's domain is fixed for
@@ -213,7 +224,7 @@ class System:
         # interval sampling: with no sampler the loop pays one int compare
         sampler = self.obs.sampler if self.obs is not None else None
         next_sample = sampler.interval_ps if sampler is not None else max_ps + 1
-        watchdog_ps = 20_000_000
+        from repro.soc.events import WATCHDOG_PS as watchdog_ps
         last_progress_check = 0
         last_instrs = -1
         ticks_big = ticks_little = ticks_mem = 0

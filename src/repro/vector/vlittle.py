@@ -272,7 +272,7 @@ class VLittleEngine:
         "_elem_expected", "_cross", "_fence_buffer", "_fences_pending",
         "_dataq_release", "instrs", "mode_switches", "_bcast_issued",
         "obs", "_pv", "_lane_obs", "_obs_uopq", "_obs_dataq",
-        "_obs_last_uopq", "_vxu_obs",
+        "_obs_last_uopq", "_vxu_obs", "_ev_notify",
     )
 
     def __init__(
@@ -338,6 +338,9 @@ class VLittleEngine:
 
         self.obs = None  # VCU UnitObs; every hook is a single cheap check
         self._pv = None  # PipeView handle; same cheap-check discipline
+        # event-loop wakeup: fired on dispatch/end_region pushes from the
+        # big core and on L1D slice fills arriving for the VMU
+        self._ev_notify = None
 
     # --------------------------------------------------------- observability
 
@@ -397,6 +400,9 @@ class VLittleEngine:
     def end_region(self):
         """OS switched the cluster back to scalar mode (CSR write): the next
         vector region pays the switch penalty again (§III-B)."""
+        n = self._ev_notify
+        if n is not None:
+            n()
         self._ready_at = None
 
     def next_accept_ps(self, now):
@@ -414,6 +420,9 @@ class VLittleEngine:
         return _INF
 
     def dispatch(self, ins, now, respond=None):
+        n = self._ev_notify
+        if n is not None:
+            n()  # big-core push: settle + re-arm before the queues mutate
         self.instrs += 1
         op = ins.op
         if ins.rd is None and op != VOp.VSETVL:

@@ -1,0 +1,141 @@
+"""Event-core scheduling structure: the EventQueue contract and the
+per-unit must-actually-idle guarantee.
+
+The loop in ``repro.soc.events`` inlines its per-domain heaps for
+speed, but the :class:`EventQueue` class captures the contract those
+inlined heaps follow — one armed event per unit, lazy stale-entry
+cancellation, deterministic uid tie-breaks — so it is tested directly
+here. The second half checks the core's defining property end-to-end:
+units the dense loop would tick thousands of times while quiescent
+execute (almost) nothing under the event core, visible through
+``system._event_unit_ticks``.
+"""
+
+import pytest
+
+from repro.obs import Observation
+from repro.soc import System, preset
+from repro.soc.events import EventQueue
+
+from tests.soc.test_system import alu_trace, vec_trace
+
+DOMAINS = ("big", "little", "mem")
+
+
+# ------------------------------------------------------------ EventQueue
+
+def test_ties_break_by_unit_id():
+    q = EventQueue(4)
+    # schedule out of uid order at the same instant
+    q.schedule(3, 100)
+    q.schedule(0, 100)
+    q.schedule(2, 100)
+    assert q.pop() == (100, 0)
+    assert q.pop() == (100, 2)
+    assert q.pop() == (100, 3)
+    assert q.pop() is None
+
+
+def test_rearm_moves_the_event():
+    q = EventQueue(2)
+    q.schedule(0, 500)
+    q.schedule(0, 200)  # re-arm earlier: the 500 entry goes stale
+    assert q.peek() == (200, 0)
+    assert q.pop() == (200, 0)
+    assert q.pop() is None  # the stale 500 entry must not resurface
+
+
+def test_rearm_later_drops_the_earlier_entry():
+    q = EventQueue(2)
+    q.schedule(1, 200)
+    q.schedule(1, 900)  # re-arm later
+    assert q.pop() == (900, 1)
+    assert q.pop() is None
+
+
+def test_rearm_same_time_is_idempotent():
+    q = EventQueue(1)
+    q.schedule(0, 300)
+    q.schedule(0, 300)
+    assert q.pop() == (300, 0)
+    assert q.pop() is None
+
+
+def test_cancel_goes_stale_lazily():
+    q = EventQueue(3)
+    q.schedule(0, 100)
+    q.schedule(1, 150)
+    q.cancel(0)
+    assert q.armed_time(0) is None
+    assert q.armed_time(1) == 150
+    assert len(q) == 1
+    assert q.peek() == (150, 1)  # the cancelled entry is skipped
+    assert q.pop() == (150, 1)
+    assert not q
+
+
+# ------------------------------------------- must-actually-idle guard
+
+def _unit_ticks(cfg, program):
+    system = System(cfg)
+    result = system.run(program, loop="event")
+    return system._event_unit_ticks, result
+
+
+def test_quiescent_littles_are_never_ticked():
+    """A scalar program on the big core leaves the four littles with no
+    work at all: each may execute only its initial t=0 probe tick, no
+    matter how long the big core runs."""
+    ticks, result = _unit_ticks(preset("1b-4L"), alu_trace(300))
+    for name, n in ticks.items():
+        if name.startswith("lit"):
+            assert n <= 1, f"{name} executed {n} ticks while quiescent"
+    assert ticks["big0"] > 100  # the busy unit really ran
+
+
+def test_unit_ticks_match_domain_meta_for_single_unit_domains():
+    """With one unit per domain, the per-unit executed counts are the
+    per-domain executed cycle counts."""
+    cfg = preset("1bDV")
+    ticks, result = _unit_ticks(cfg, vec_trace(cfg.vlen_bits(4), n=48))
+    assert ticks["mem"] == result.stats["sim.ticks_mem"]
+    # big domain has two units (core + engine): each executes at most
+    # the domain's executed-cycle count
+    for name in ("big0", "dve"):
+        assert ticks[name] <= result.stats["sim.ticks_big"]
+
+
+def test_mode_switch_drain_does_not_spin_the_big_core():
+    """During a §III-B mode-switch drain the big core is blocked purely
+    on the engine; the event core must put it to sleep rather than
+    re-probing it every cycle, so its executed ticks stay well below
+    the dense big-domain cycle count."""
+    cfg = preset("1b-4VL")  # full 500-cycle switch penalty
+    program = vec_trace(cfg.vlen_bits(4), n=64)
+    ticks, result = _unit_ticks(cfg, program)
+    dense = System(cfg).run(program, skip=False)
+    assert ticks["big0"] < dense.stats["sim.ticks_big"] // 2, (
+        "big core executed {} of {} dense cycles while the engine "
+        "drained".format(ticks["big0"], dense.stats["sim.ticks_big"]))
+
+
+def test_rearm_on_wakeup_resumes_the_sleeper():
+    """The vcu sleeps between vector regions and is re-armed by the big
+    core's dispatch hook; if the wakeup path were broken the run would
+    deadlock instead of completing with the dense arm's stats."""
+    cfg = preset("1b-4VL", switch_penalty=50)
+    program = vec_trace(cfg.vlen_bits(4), n=96)
+    ticks, result = _unit_ticks(cfg, program)
+    dense = System(cfg).run(program, skip=False)
+    assert result.cycles == dense.cycles
+    assert ticks["vcu"] > 0
+    # the engine slept at least part of the run
+    assert ticks["vcu"] < dense.stats["sim.ticks_little"]
+
+
+def test_unit_ticks_cover_every_unit():
+    cfg = preset("1b-4VL")
+    ticks, _ = _unit_ticks(cfg, vec_trace(cfg.vlen_bits(4), n=32))
+    names = set(ticks)
+    assert "big0" in names and "vcu" in names and "mem" in names
+    assert sum(1 for n in names if n.startswith("lit")) == 4

@@ -102,3 +102,22 @@ def test_skipping_actually_happens_on_idle_heavy_case():
     res = System(cfg).run(vec_trace(cfg.vlen_bits(4), n=64))
     skipped = sum(res.stats[f"sim.ticks_skipped_{d}"] for d in DOMAINS)
     assert skipped > 0
+
+
+# ---- seeded randomized differential matrix: event vs legacy ----------
+#
+# The cases rotate through the workload kinds (dense kernel, the
+# switch_thrash/dram_chain synthetics, work-stealing task-parallel)
+# while randomizing little-core count, vector length, chime count, L2
+# banks and the DVFS point; tests/soc/equivalence.py holds the
+# generator and the bit-identity check (CI also runs it standalone).
+
+from tests.soc.equivalence import check_case, make_case  # noqa: E402
+
+N_RANDOM_CASES = 30
+_MATRIX = [make_case(seed) for seed in range(N_RANDOM_CASES)]
+
+
+@pytest.mark.parametrize("case", _MATRIX, ids=[c.ident for c in _MATRIX])
+def test_event_matches_legacy_randomized(case):
+    check_case(case)
