@@ -15,8 +15,14 @@ the workload identity ``(name, scale)``, and the simulator version.  Hashing
 the whole config replaces the old hand-picked key tuple, which silently
 aliased configs that differed in any field it forgot to list.
 
-A corrupted or truncated cache file is treated as a miss: the harness warns
-and re-simulates rather than crashing.
+A corrupted or truncated cache file is treated as a miss: the harness warns,
+counts it (``stats()["corrupt"]``, shown by ``bigvlittle cache stats``), and
+re-simulates rather than crashing.
+
+When sweep telemetry is enabled (:mod:`repro.experiments.telemetry`), every
+lookup also emits a ``cache_hit`` / ``cache_miss`` / ``cache_corrupt`` event
+on exactly the branches that bump the hit/miss counters, so a sweep's JSONL
+log reconciles with :meth:`ResultCache.stats` to the event.
 """
 
 from __future__ import annotations
@@ -25,9 +31,11 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 import warnings
 
 import repro
+from repro.experiments import telemetry
 from repro.stats import RunResult
 
 #: results produced by a different simulator version never collide with ours
@@ -52,6 +60,7 @@ class ResultCache:
         self.hits = 0          # served from memory or disk
         self.disk_hits = 0     # subset of hits that came off disk
         self.misses = 0
+        self.corrupt = 0       # disk files that failed to parse (each a miss)
 
     # ------------------------------------------------------------------ keys
 
@@ -75,27 +84,44 @@ class ResultCache:
         """Return the cached :class:`RunResult` for ``key``, or ``None``."""
         if not self.enabled:
             return None
+        # telemetry events are emitted on exactly the branches that bump the
+        # counters, so a sweep log's hit/miss counts match stats() exactly
+        tel = telemetry.current()
         if key in self._mem:
             self.hits += 1
+            if tel is not None:
+                tel.event("cache_hit", key=key, level="memory",
+                          load_wall_s=0.0)
             return self._mem[key]
         if self.disk:
             path = self._path(key)
             if os.path.exists(path):
+                t0 = time.perf_counter()
                 try:
                     with open(path) as f:
                         record = json.load(f)
                     result = RunResult.from_dict(record["result"])
                 except (OSError, ValueError, KeyError, TypeError) as e:
+                    self.corrupt += 1
+                    if tel is not None:
+                        tel.event("cache_corrupt", key=key, path=path)
                     warnings.warn(
                         f"corrupted result-cache file {path} ({e!r}); "
                         f"re-simulating", RuntimeWarning, stacklevel=2)
                 else:
+                    load_s = time.perf_counter() - t0
                     result.timing["from_cache"] = True
+                    result.timing["load_wall_s"] = round(load_s, 6)
                     self._mem[key] = result
                     self.hits += 1
                     self.disk_hits += 1
+                    if tel is not None:
+                        tel.event("cache_hit", key=key, level="disk",
+                                  load_wall_s=round(load_s, 6))
                     return result
         self.misses += 1
+        if tel is not None:
+            tel.event("cache_miss", key=key)
         return None
 
     def put(self, key, result):
@@ -152,6 +178,7 @@ class ResultCache:
             "hits": self.hits,
             "disk_hits": self.disk_hits,
             "misses": self.misses,
+            "corrupt": self.corrupt,
         }
 
 

@@ -30,6 +30,12 @@ Observability (see ``docs/observability.md``):
   scalar / mode-switch / vector-burst / drain phases with per-phase stall
   mixes (and energy under ``--energy``); ``--json`` writes the
   ``bigvlittle-phases-v1`` report.
+* ``bigvlittle hostprof <workload> [--json PATH] [--top N]`` — run one
+  workload with a :class:`~repro.obs.host.HostScope` attached and report
+  where the *simulator* spends host wall-time, per unit group
+  (``bigvlittle-hostprof-v1``). This is the measurement behind the
+  ROADMAP's vectorized-lane-execution plan: the biggest host share is
+  what to batch next.
 * ``bigvlittle diff a.json b.json [--gate]`` — classified stat diff of two
   run dumps; under ``--gate`` any exact mismatch or out-of-tolerance
   timing delta exits nonzero (the CI regression gate). ``--tolerances``
@@ -91,6 +97,10 @@ def main(argv=None):
     if argv and argv[0] in ("trace", "profile", "pipeview", "timeline",
                             "phases"):
         return _obs_main(argv[0], argv[1:])
+    if argv and argv[0] == "hostprof":
+        return _hostprof_main(argv[1:])
+    if argv and argv[0] == "bench-history":
+        return _bench_history_main(argv[1:])
     if argv and argv[0] == "diff":
         return _diff_main(argv[1:])
 
@@ -111,11 +121,24 @@ def main(argv=None):
     parser.add_argument("--json", action="store_true", help="dump raw data as JSON")
     parser.add_argument("--svg", metavar="DIR", default=None,
                         help="also render the figure(s) as SVG into DIR")
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="append structured sweep-telemetry events "
+                             "(JSONL) to PATH: run/cache/worker events with "
+                             "config-hash provenance")
+    parser.add_argument("--sweep-trace", metavar="PATH", default=None,
+                        help="write a Chrome trace of the sweep (one track "
+                             "per worker process; open at "
+                             "https://ui.perfetto.dev)")
     args = parser.parse_args(argv)
 
     if args.no_cache:
         configure(enabled=False)
     cache = get_cache()
+    tel = None
+    if args.telemetry or args.sweep_trace:
+        from repro.experiments import telemetry
+
+        tel = telemetry.enable(path=args.telemetry)
 
     names = sorted(_FIGS) + sorted(_TABLES) if args.experiment == "all" else [args.experiment]
     t_all = time.time()
@@ -153,6 +176,18 @@ def main(argv=None):
         print(f"== all done in {time.time() - t_all:.1f}s; cache now holds "
               f"{st['disk_entries']} results "
               f"({st['disk_bytes'] / 1024:.0f} KiB) in {st['dir']} ==")
+    if tel is not None:
+        if args.sweep_trace:
+            n = tel.write_chrome_trace(args.sweep_trace)
+            print(f"wrote sweep trace ({n} events, "
+                  f"{len({s['worker'] for s in tel.spans})} worker tracks) "
+                  f"to {args.sweep_trace}")
+        if args.telemetry:
+            print(f"appended {len(tel.events)} telemetry events "
+                  f"to {args.telemetry}")
+        from repro.experiments import telemetry
+
+        telemetry.disable()
     return 0
 
 
@@ -317,6 +352,71 @@ def _obs_main(verb, argv):
     else:
         print(obs.profile_table(top=args.top))
     return 0
+
+
+def _hostprof_main(argv):
+    ap = argparse.ArgumentParser(
+        prog="bigvlittle hostprof",
+        description="Attribute host wall-time of one run to per-component "
+                    "unit groups: where does the simulator itself spend "
+                    "time? (bigvlittle-hostprof-v1)")
+    ap.add_argument("workload", help="workload name, e.g. saxpy, mmult, bfs")
+    ap.add_argument("--system", default="1b-4VL",
+                    help="system preset (default: 1b-4VL)")
+    ap.add_argument("--scale", default="small",
+                    choices=("tiny", "small", "full"))
+    ap.add_argument("--stride", type=int, default=1, metavar="N",
+                    help="time only every N-th dispatch per group "
+                         "(extrapolated; default: 1 = time everything)")
+    ap.add_argument("--top", type=int, default=None, metavar="N",
+                    help="only show the N largest groups")
+    ap.add_argument("--json", nargs="?", const="-", default=None,
+                    metavar="PATH",
+                    help="write the bigvlittle-hostprof-v1 report as JSON to "
+                         "PATH ('-' or no value: stdout) instead of the table")
+    args = ap.parse_args(argv)
+
+    import repro
+    from repro.experiments.runner import _program_for
+    from repro.obs import HostScope
+    from repro.soc import System, preset
+    from repro.workloads import get_workload
+
+    # like the obs verbs, always simulate fresh: a hostscoped run's
+    # timings are host-machine facts, never cache material
+    cfg = preset(args.system)
+    program = _program_for(cfg, get_workload(args.workload, args.scale))
+    hs = HostScope(stride=args.stride)
+    t0 = time.time()
+    result = System(cfg).run(program, hostscope=hs)
+    wall = time.time() - t0
+    meta = {
+        "workload": args.workload,
+        "system": args.system,
+        "scale": args.scale,
+        "loop": "event",
+        "sim_version": repro.__version__,
+        "cycles": result.cycles,
+    }
+    if args.json is not None:
+        doc = hs.report(meta=meta)
+        if args.json == "-":
+            print(json.dumps(doc, indent=1, sort_keys=True))
+        else:
+            hs.write_json(args.json, meta=meta)
+            print(f"wrote hostprof report ({len(doc['groups'])} groups, "
+                  f"coverage {doc['coverage'] * 100:.1f}%) to {args.json}")
+        return 0
+    print(f"== {args.workload}@{args.scale} on {args.system}: "
+          f"{result.cycles} cycles (1 GHz), simulated in {wall:.1f}s ==")
+    print(hs.format_table(top=args.top))
+    return 0
+
+
+def _bench_history_main(argv):
+    from repro.experiments.benchhistory import main as bh_main
+
+    return bh_main(argv)
 
 
 def _diff_main(argv):

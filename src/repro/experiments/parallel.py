@@ -12,24 +12,36 @@ The runner:
 3. simulates the remaining keys on ``jobs`` worker processes (serially
    in-process for ``jobs <= 1``), each worker writing its result into the
    shared on-disk cache as it finishes, so an interrupted sweep resumes;
-4. emits optional per-run progress lines and a wall-clock/hit-rate summary.
+4. emits optional per-run progress lines (through the
+   :mod:`repro.log` structured logger) and a wall-clock/hit-rate/worker-
+   utilization summary.
 
 A warm cache therefore turns a full figure sweep into pure lookups — zero
 ``System.run`` calls — and a cold one runs at ``jobs``-way parallelism.
+
+When sweep telemetry is enabled (:mod:`repro.experiments.telemetry`), the
+runner brackets the sweep with ``sweep_start``/``sweep_end`` events, the
+cache emits per-request hit/miss events, and every simulation — whether in
+a pool worker or inline — lands as ``run_start``/``run_end`` plus a
+``worker_busy`` span, so the whole sweep exports as a one-track-per-worker
+Chrome trace (``SweepTelemetry.write_chrome_trace``).
 """
 
 from __future__ import annotations
 
 import os
-import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
-from repro.experiments.cache import ResultCache, get_cache
+from repro.experiments import telemetry
+from repro.experiments.cache import SIM_VERSION, ResultCache, get_cache
 from repro.experiments.runner import run_pair
+from repro.log import get_logger
 from repro.soc import preset
 from repro.stats import RunResult
+
+_logger = get_logger("repro.experiments.parallel")
 
 
 @dataclass
@@ -51,11 +63,19 @@ class RunRequest:
 
 
 def _simulate(req, cache_dir, disk, use_cache):
-    """Worker body: simulate one request, persisting through a local cache."""
+    """Worker body: simulate one request, persisting through a local cache.
+
+    Returns the result dict plus the worker's identity and busy interval;
+    the parent turns those into the authoritative telemetry events (the
+    worker disables its inherited telemetry so nothing is double-logged).
+    """
+    telemetry.disable()
     cache = ResultCache(cache_dir=cache_dir, disk=disk and use_cache)
+    t_start = time.time()
     result = run_pair(req.system, req.workload, req.scale,
                       use_cache=use_cache, cache=cache, **req.overrides)
-    return result.to_dict()
+    return {"result": result.to_dict(), "pid": os.getpid(),
+            "t_start": t_start, "t_end": time.time()}
 
 
 class ParallelRunner:
@@ -75,13 +95,23 @@ class ParallelRunner:
         t0 = time.perf_counter()
         results = [None] * len(requests)
         hits = 0
+        load_wall = 0.0
         # a disabled parent cache means fully cacheless (workers included)
         use_cache = self.use_cache and self.cache.enabled
+        tel = telemetry.current()
+        if tel is not None:
+            tel.event("sweep_start", requests=len(requests), jobs=self.jobs,
+                      sim_version=SIM_VERSION)
         pending = {}  # cache key -> (request, [indices])
         for i, req in enumerate(requests):
             key = self.cache.key_for(req.config(), req.workload, req.scale)
+            # only a *fresh* disk load costs load time; a memory-level
+            # re-hit of a previously loaded result is free
+            dh0 = self.cache.disk_hits
             hit = self.cache.get(key) if use_cache else None
             if hit is not None:
+                if self.cache.disk_hits > dh0:
+                    load_wall += hit.timing.get("load_wall_s", 0.0)
                 results[i] = hit
                 hits += 1
                 continue
@@ -92,6 +122,7 @@ class ParallelRunner:
         n_sim = len(pending)
         done = 0
         sim_wall = 0.0
+        busy_s = 0.0
         if progress and hits:
             self._log(f"[cache] {hits}/{len(requests)} requests served "
                       f"from cache")
@@ -109,7 +140,8 @@ class ParallelRunner:
                           f"{result.timing.get('wall_s', 0.0):.2f}s")
 
         if n_sim and self.jobs > 1:
-            with ProcessPoolExecutor(max_workers=min(self.jobs, n_sim)) as pool:
+            workers = min(self.jobs, n_sim)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
                 futs = {
                     pool.submit(_simulate, req, self.cache.cache_dir,
                                 self.cache.disk, use_cache): (key, req, idxs)
@@ -120,22 +152,53 @@ class ParallelRunner:
                     ready, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                     for fut in ready:
                         key, req, idxs = futs[fut]
-                        finish(key, req, idxs, RunResult.from_dict(fut.result()))
+                        payload = fut.result()
+                        result = RunResult.from_dict(payload["result"])
+                        busy_s += payload["t_end"] - payload["t_start"]
+                        if tel is not None:
+                            # the worker disabled its inherited telemetry;
+                            # replay its run from the returned payload
+                            tel.event("run_start", key=key, system=req.system,
+                                      workload=req.workload, scale=req.scale,
+                                      sim_version=SIM_VERSION)
+                            tel.event(
+                                "run_end", key=key,
+                                wall_s=round(
+                                    result.timing.get("wall_s", 0.0), 6),
+                                cycles=result.cycles)
+                            tel.span(payload["pid"], req.label(),
+                                     payload["t_start"], payload["t_end"],
+                                     key=key)
+                        finish(key, req, idxs, result)
         else:
+            workers = 1 if n_sim else 0
             for key, (req, idxs) in pending.items():
+                # run_pair emits its own run/span telemetry on this path
+                t_start = time.time()
                 result = run_pair(req.system, req.workload, req.scale,
                                   use_cache=use_cache, cache=self.cache,
                                   **req.overrides)
+                busy_s += time.time() - t_start
                 finish(key, req, idxs, result)
 
+        wall = time.perf_counter() - t0
         self._summary = {
             "requests": len(requests),
             "cache_hits": hits,
             "simulated": n_sim,
             "jobs": self.jobs,
-            "wall_s": time.perf_counter() - t0,
+            "workers": workers,
+            "wall_s": wall,
             "sim_wall_s": sim_wall,
+            "load_wall_s": load_wall,
+            "hit_ratio": hits / len(requests) if requests else 0.0,
+            "worker_util": min(1.0, busy_s / (workers * wall))
+            if workers and wall > 0 else 0.0,
         }
+        if tel is not None:
+            tel.event("sweep_end", **{k: round(v, 6)
+                                      if isinstance(v, float) else v
+                                      for k, v in self._summary.items()})
         return results
 
     def warm(self, requests, progress=False):
@@ -150,7 +213,7 @@ class ParallelRunner:
 
     @staticmethod
     def _log(msg):
-        print(msg, file=sys.stderr, flush=True)
+        _logger.info(msg)
 
 
 def warm_cache(requests, jobs=None, progress=False):
@@ -167,7 +230,18 @@ def warm_cache(requests, jobs=None, progress=False):
 def format_summary(summary):
     if not summary:
         return "no runs recorded"
-    return (f"{summary['requests']} requests: {summary['cache_hits']} cache "
+    line = (f"{summary['requests']} requests: {summary['cache_hits']} cache "
             f"hits, {summary['simulated']} simulated on {summary['jobs']} "
             f"jobs in {summary['wall_s']:.1f}s wall "
             f"({summary['sim_wall_s']:.1f}s total sim time)")
+    extras = []
+    if "hit_ratio" in summary:
+        extras.append(f"hit ratio {summary['hit_ratio'] * 100:.0f}%")
+    if summary.get("load_wall_s"):
+        extras.append(f"cache loads {summary['load_wall_s'] * 1000:.0f}ms")
+    if summary.get("simulated") and "worker_util" in summary:
+        extras.append(f"worker util {summary['worker_util'] * 100:.0f}% "
+                      f"on {summary.get('workers', summary['jobs'])} workers")
+    if extras:
+        line += f" [{', '.join(extras)}]"
+    return line

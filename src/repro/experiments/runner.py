@@ -20,8 +20,11 @@ across harness invocations.
 
 from __future__ import annotations
 
+import time
+
 from repro.errors import ConfigError
-from repro.experiments.cache import get_cache
+from repro.experiments import telemetry
+from repro.experiments.cache import SIM_VERSION, get_cache
 from repro.soc import System, preset
 from repro.workloads import REGISTRY, get_workload
 
@@ -78,7 +81,20 @@ def run_pair(system_name, workload_name, scale="small", cfg=None, use_cache=True
             return hit
     workload = get_workload(workload_name, scale)
     program = _program_for(cfg, workload)
+    tel = telemetry.current()
+    if tel is not None:
+        tel.event("run_start", key=key, system=system_name,
+                  workload=workload_name, scale=scale,
+                  sim_version=SIM_VERSION)
+    t_start = time.time()
     result = System(cfg).run(program)
+    t_end = time.time()
+    if tel is not None:
+        tel.event("run_end", key=key,
+                  wall_s=round(result.timing.get("wall_s", 0.0), 6),
+                  cycles=result.cycles)
+        tel.span("main", f"{system_name}/{workload_name}@{scale}",
+                 t_start, t_end, key=key)
     if use_cache:
         cache.put(key, result)
     return result

@@ -85,6 +85,33 @@ def _nice_max(v):
     return 10 * mag
 
 
+def sparkline(values, width=120, height=24, stroke=PALETTE[0]):
+    """Inline sparkline SVG for one numeric series (``None`` = gap).
+
+    Used by the benchmark-history dashboard: tiny, axis-free, last point
+    marked. Returns the SVG string (embed directly in HTML).
+    """
+    svg = SVG(width, height)
+    pts = [(i, v) for i, v in enumerate(values) if v is not None]
+    if not pts:
+        return svg.render()
+    vmin = min(v for _, v in pts)
+    vmax = max(v for _, v in pts)
+    span = (vmax - vmin) or 1.0
+    n = max(len(values) - 1, 1)
+    pad = 3
+
+    def xy(i, v):
+        return (pad + (width - 2 * pad) * i / n,
+                pad + (height - 2 * pad) * (1 - (v - vmin) / span))
+
+    if len(pts) > 1:
+        svg.polyline([xy(i, v) for i, v in pts], stroke=stroke, width=1.2)
+    xi, yi = xy(*pts[-1])
+    svg.circle(xi, yi, 2.0, fill=stroke, title=f"{pts[-1][1]:g}")
+    return svg.render()
+
+
 def grouped_bars(data, series, title="", ylabel="", width=960, height=420,
                  log=False):
     """``data``: {group: {series_name: value}}; bars grouped per group."""

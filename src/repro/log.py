@@ -1,0 +1,153 @@
+"""Structured logging for the experiment layer (``repro.log``).
+
+The experiment harness used to emit bare ``print(msg, file=sys.stderr)``
+progress lines; this module replaces them with a small leveled logger
+that
+
+* prefixes every line with a wall-clock timestamp, the level, and the
+  logger name (the message text itself is untouched, so existing
+  progress-line greps keep working);
+* optionally mirrors every record into a JSONL sink (one
+  ``{"ts", "level", "logger", "msg", ...fields}`` object per line), the
+  same shape the sweep-telemetry log uses, so harness progress and sweep
+  events can be machine-merged;
+* filters by level per logger, with a process-wide default.
+
+It is deliberately tiny — no handler trees, no propagation — because the
+simulator itself never logs: only host-side harness code (the parallel
+runner, the report driver, the CLI) does, and those paths are not
+performance-critical.
+
+Usage::
+
+    from repro.log import get_logger
+
+    log = get_logger("repro.experiments.parallel")
+    log.info("[3/8] 1b-4VL/saxpy@small simulated in 1.24s", wall_s=1.24)
+
+    # route all harness logs into a JSONL file as well
+    from repro.log import configure
+    configure(level="debug", jsonl_path="harness_log.jsonl")
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+#: level name -> numeric severity (matches stdlib logging's ordering)
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def _check_level(level):
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r} "
+                         f"(expected one of {sorted(LEVELS)})")
+    return level
+
+
+class StructuredLogger:
+    """One named logger: leveled text lines plus an optional JSONL sink."""
+
+    __slots__ = ("name", "level", "stream", "jsonl_path", "_jsonl")
+
+    def __init__(self, name, level="info", stream=None, jsonl_path=None):
+        self.name = name
+        self.level = _check_level(level)
+        self.stream = stream  # None = sys.stderr at emit time (capturable)
+        self.jsonl_path = None
+        self._jsonl = None
+        if jsonl_path is not None:
+            self.set_jsonl(jsonl_path)
+
+    # ------------------------------------------------------------- sinks
+
+    def set_jsonl(self, path):
+        """Mirror every record into ``path`` (append mode); None disables."""
+        if self._jsonl is not None:
+            self._jsonl.close()
+            self._jsonl = None
+        self.jsonl_path = path
+        if path is not None:
+            self._jsonl = open(path, "a", encoding="utf-8")
+        return self
+
+    def close(self):
+        self.set_jsonl(None)
+
+    # ------------------------------------------------------------ records
+
+    def enabled_for(self, level):
+        return LEVELS[_check_level(level)] >= LEVELS[self.level]
+
+    def log(self, level, msg, **fields):
+        """Emit one record at ``level``; extra fields become ``k=v`` text
+        suffixes and JSONL keys."""
+        if not self.enabled_for(level):
+            return None
+        ts = time.time()
+        stamp = time.strftime("%H:%M:%S", time.localtime(ts))
+        stamp += f".{int((ts % 1) * 1000):03d}"
+        suffix = "".join(f" {k}={v}" for k, v in sorted(fields.items()))
+        line = f"{stamp} {level.upper():<7} {self.name}: {msg}{suffix}"
+        stream = self.stream if self.stream is not None else sys.stderr
+        print(line, file=stream, flush=True)
+        if self._jsonl is not None:
+            rec = {"ts": round(ts, 6), "level": level, "logger": self.name,
+                   "msg": msg}
+            rec.update(fields)
+            self._jsonl.write(json.dumps(rec, sort_keys=True,
+                                         default=str) + "\n")
+            self._jsonl.flush()
+        return line
+
+    def debug(self, msg, **fields):
+        return self.log("debug", msg, **fields)
+
+    def info(self, msg, **fields):
+        return self.log("info", msg, **fields)
+
+    def warning(self, msg, **fields):
+        return self.log("warning", msg, **fields)
+
+    def error(self, msg, **fields):
+        return self.log("error", msg, **fields)
+
+    def __repr__(self):
+        return f"<StructuredLogger {self.name} level={self.level}>"
+
+
+# ------------------------------------------------------------------ registry
+
+_loggers: dict = {}
+_default_level = "info"
+
+
+def get_logger(name="repro"):
+    """The process-wide logger registered under ``name`` (created on
+    first use at the current default level)."""
+    logger = _loggers.get(name)
+    if logger is None:
+        logger = _loggers[name] = StructuredLogger(name, level=_default_level)
+    return logger
+
+
+def configure(level=None, jsonl_path=None, stream=None):
+    """Reconfigure every registered logger (and the default for new ones).
+
+    ``jsonl_path``/``stream`` apply to all currently registered loggers;
+    pass ``jsonl_path=None`` explicitly via :meth:`StructuredLogger.set_jsonl`
+    to detach a single logger's sink.
+    """
+    global _default_level
+    if level is not None:
+        _default_level = _check_level(level)
+        for logger in _loggers.values():
+            logger.level = _default_level
+    for logger in _loggers.values():
+        if jsonl_path is not None:
+            logger.set_jsonl(jsonl_path)
+        if stream is not None:
+            logger.stream = stream
+    return sorted(_loggers)

@@ -64,6 +64,7 @@ from repro.obs.diff import (
     dump_result,
 )
 from repro.obs.hooks import Observation, UnitObs
+from repro.obs.host import HostScope
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.phases import PhaseReport, PhaseThresholds, detect_phases
 from repro.obs.pipeview import PipeView
@@ -71,7 +72,7 @@ from repro.obs.sampler import IntervalSampler, load_timeline
 from repro.obs.tracer import Tracer
 
 __all__ = [
-    "Observation", "UnitObs", "MetricsRegistry", "Tracer",
+    "Observation", "UnitObs", "MetricsRegistry", "Tracer", "HostScope",
     "PipeView", "IntervalSampler", "load_timeline",
     "PhaseReport", "PhaseThresholds", "detect_phases",
     "DiffReport", "classify", "diff_files", "diff_stats", "dump_result",

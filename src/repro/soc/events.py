@@ -243,6 +243,17 @@ def run_event_loop(system, max_ns):
     pb, pl, pm = periods = (system._pb, system._pl, system._pm)
     units, statics = _build_units(system)
     allunits = units + statics
+    # host-side profiling (repro.obs.host): wrap every unit's dispatch
+    # callable with monotonic-clock accounting and patch the nested
+    # sub-unit seams. Wrapping happens here, once, so the hot loop is
+    # untouched when no hostscope is attached; probes and skip_ticks stay
+    # unwrapped (they are scheduler overhead, charged to the residual).
+    hs = system.hostscope
+    if hs is not None:
+        from repro.obs.host import unit_group
+        for u in units:
+            u.tick = hs.wrap(u.tick, unit_group(u.name, u.domain), arity=1)
+        hs.install(system)
     bunits = [u for u in units if u.domain == _BIG]
     lunits = [u for u in units if u.domain == _LITTLE]
     munits = [u for u in units if u.domain == _MEM]
@@ -708,3 +719,7 @@ def run_event_loop(system, max_ns):
         if not dense:
             for u in units:
                 u.owner._ev_notify = None
+        if hs is not None:
+            hs.uninstall()
+            hs.finalize(time.perf_counter() - system._wall_t0,
+                        loop_events=executed[0] + executed[1] + executed[2])

@@ -40,7 +40,7 @@ class System:
                  "engine", "runtime", "_pb", "_pl", "_pm", "_name",
                  "_wall_t0", "_ticks_big", "_ticks_little", "_ticks_mem",
                  "_skipped_big", "_skipped_little", "_skipped_mem",
-                 "_done_blocker", "_event_unit_ticks")
+                 "_done_blocker", "_event_unit_ticks", "hostscope")
 
     def __init__(self, config, obs=None):
         if not isinstance(config, SoCConfig):
@@ -121,6 +121,9 @@ class System:
         self._skipped_big = self._skipped_little = self._skipped_mem = 0
         self._done_blocker = None
         self._event_unit_ticks = None  # per-unit executed ticks (event loop)
+        # host-side profiling (repro.obs.host) — like obs, never part of
+        # SoCConfig or cache keys, and a no-op unless attached via run()
+        self.hostscope = None
         self._wall_t0 = time.perf_counter()
 
     # ------------------------------------------------------------------- run
@@ -184,7 +187,7 @@ class System:
             obs.sampler.attach(self, obs)
 
     def run(self, program=None, max_ns=50_000_000, quiet=True, obs=None,
-            skip=True, loop="event"):
+            skip=True, loop="event", hostscope=None):
         """Simulate to completion; returns a :class:`RunResult`.
 
         ``skip`` toggles idle-time elision entirely; ``loop`` picks the
@@ -196,9 +199,19 @@ class System:
         except the ``sim.ticks_*`` executed/skipped split is bit-identical
         across all three schedules. ``skip=False`` always runs the dense
         reference loop that grinds through every tick.
+
+        ``hostscope`` attaches a :class:`~repro.obs.host.HostScope` that
+        attributes host wall-time to per-unit groups by timing the event
+        core's dispatch — also run-time-only and stat-invisible, but it
+        requires the event loop (the other loops have no per-unit
+        dispatch seam to hook).
         """
         if loop not in ("event", "legacy"):
             raise ConfigError(f"unknown run loop {loop!r}")
+        if hostscope is not None and (not skip or loop != "event"):
+            raise ConfigError("hostscope requires the event loop "
+                              "(skip=True, loop='event')")
+        self.hostscope = hostscope
         if program is not None:
             self.load(program)
         if obs is None:
@@ -488,8 +501,13 @@ class System:
                 "mem": self._ticks_mem + self._skipped_mem,
             })
             stats.update(self.obs.stats_dict())
+        wall = time.perf_counter() - self._wall_t0
         timing = {
-            "wall_s": time.perf_counter() - self._wall_t0,
+            "wall_s": wall,
+            # sim_wall_s is the time actually spent simulating; a later
+            # disk-cache load of this result keeps it and records its own
+            # load_wall_s, so hit and miss costs stay distinguishable
+            "sim_wall_s": wall,
             "from_cache": False,
         }
         return RunResult(self._name, self.config.name, t_ps // 1000, stats, timing)

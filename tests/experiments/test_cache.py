@@ -108,6 +108,44 @@ def test_missing_result_field_is_also_corruption(fresh_cache, run_spy):
     assert run_spy["n"] == 2
 
 
+def test_corruption_is_counted_in_stats(fresh_cache, run_spy, capsys):
+    run_pair("1b", "vvadd", "tiny")
+    key = fresh_cache.key_for(preset("1b"), "vvadd", "tiny")
+    path = os.path.join(fresh_cache.cache_dir, f"{key}.json")
+    with open(path, "w") as f:
+        f.write("{not json")
+    stale = ResultCache(cache_dir=fresh_cache.cache_dir)
+    with pytest.warns(RuntimeWarning):
+        stale.get(key)
+    with pytest.warns(RuntimeWarning):
+        stale.get(key)
+    st = stale.stats()
+    assert st["corrupt"] == 2
+    assert st["misses"] == 2
+    assert fresh_cache.stats()["corrupt"] == 0
+    # and the CLI surfaces the counter
+    assert cli.main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    stats = dict(line.split(None, 1) for line in out.strip().splitlines())
+    assert stats["corrupt"] == "0"
+
+
+def test_timing_split_sim_vs_load(fresh_cache, run_spy):
+    """Cold runs record sim_wall_s; disk hits add a distinct load_wall_s."""
+    a = run_pair("1b", "vvadd", "tiny")
+    assert a.timing["from_cache"] is False
+    assert a.timing["sim_wall_s"] == pytest.approx(a.timing["wall_s"])
+    assert "load_wall_s" not in a.timing
+    key = fresh_cache.key_for(preset("1b"), "vvadd", "tiny")
+    cold = ResultCache(cache_dir=fresh_cache.cache_dir)
+    b = cold.get(key)
+    assert run_spy["n"] == 1
+    assert b.timing["from_cache"] is True
+    assert b.timing["load_wall_s"] >= 0.0
+    # the original simulation cost survives the round-trip alongside it
+    assert b.timing["sim_wall_s"] == pytest.approx(a.timing["sim_wall_s"])
+
+
 def test_disabled_cache_never_reads_or_writes(fresh_cache, run_spy):
     fresh_cache.enabled = False
     run_pair("1b", "vvadd", "tiny")
