@@ -237,6 +237,57 @@ class BigCore:
             n()
         self._front_avail = ready
 
+    def forensic_state(self, now):
+        """Scheduling-state summary for :mod:`repro.obs.forensics`.
+
+        Pure (read-only): mirrors the blocking conditions ``tick`` /
+        ``next_work_ps`` act on, plus occupancy counts, and names what
+        the core is waiting on (``mem`` / ``engine`` / ``source``)."""
+        waits = []
+        if self._outstanding > 0:
+            waits.append(("mem", f"{self._outstanding} load/fill(s) in flight"))
+        if self._front_avail >= _INF:
+            waits.append(("mem", "instruction fetch awaiting an L1I fill"))
+        head = self._rob[0] if self._rob else None
+        if head is not None:
+            ins = head.ins
+            if ins.is_vector and self.vector_mode == "decoupled":
+                if not head.dispatched:
+                    if head.deps == 0 and not (
+                            ins.op == VOp.VMFENCE
+                            and (self._sb or self._outstanding > 0)):
+                        waits.append(("engine",
+                                      f"ROB head {VOp(ins.op).name} awaiting "
+                                      f"engine accept"))
+                elif not head.completed:
+                    waits.append(("engine",
+                                  f"ROB head {VOp(ins.op).name} awaiting "
+                                  f"engine response"))
+            elif (not ins.is_vector and ins.op == Op.CSRRW
+                    and self.vector_mode == "decoupled" and head.completed
+                    and self.engine is not None and not self.engine.idle()):
+                waits.append(("engine",
+                              "mode-switch CSRRW awaiting engine drain"))
+        src = self.source
+        if (not self._rob and src is not None and not src.done()
+                and src.pure_peek and src.peek() is None):
+            waits.append(("source",
+                          "instruction source empty but reports not-done"))
+        return {
+            "rob": len(self._rob),
+            "rob_size": self.rob_size,
+            "ready": len(self._ready),
+            "store_buffer": len(self._sb),
+            "outstanding_fills": self._outstanding,
+            "completions_armed": len(self._complete_at),
+            "front_avail_ps": (None if self._front_avail >= _INF
+                               else self._front_avail),
+            "fetch_blocked": self._fetch_blocked_on is not None,
+            "instrs": self.instrs,
+            "done": self.done(),
+            "waits_on": waits,
+        }
+
     # ------------------------------------------------------- skip scheduling
 
     def next_work_ps(self, now):

@@ -139,6 +139,40 @@ class LittleCore:
 
         return waiter
 
+    def forensic_state(self, now):
+        """Scheduling-state summary for :mod:`repro.obs.forensics`.
+        Pure (read-only); see :meth:`BigCore.forensic_state`."""
+        waits = []
+        if self._outstanding_loads > 0:
+            waits.append(("mem",
+                          f"{self._outstanding_loads} load/fill(s) in flight"))
+        if self.active and self._front_avail >= _INF:
+            waits.append(("mem", "instruction fetch awaiting an L1I fill"))
+        head = self._head
+        if head is not None:
+            for s in head.srcs:
+                if self._regs.get(s, 0) >= _INF:
+                    waits.append(("mem",
+                                  f"operand r{s} awaiting a load fill"))
+                    break
+        src = self.source
+        if (self.active and head is None and src is not None
+                and not src.done() and src.pure_peek
+                and src.peek() is None):
+            waits.append(("source",
+                          "instruction source empty but reports not-done"))
+        return {
+            "active": self.active,
+            "issue_head": Op(head.op).name if head is not None else None,
+            "store_buffer": len(self._sb),
+            "outstanding_loads": self._outstanding_loads,
+            "front_avail_ps": (None if self._front_avail >= _INF
+                               else self._front_avail),
+            "instrs": self.instrs,
+            "done": self.done(),
+            "waits_on": waits,
+        }
+
     # ------------------------------------------------------- skip scheduling
 
     def next_work_ps(self, now):

@@ -18,11 +18,19 @@ class SimulationError(ReproError):
 
 
 class DeadlockError(SimulationError):
-    """No component made progress for a full watchdog window."""
+    """No component made progress for a full watchdog window.
 
-    def __init__(self, cycle, detail=""):
+    ``forensics``, when present, is the structured
+    ``bigvlittle-forensics-v1`` scheduling snapshot taken at the raise
+    (see :mod:`repro.obs.forensics`): every unit's state, a wait-for
+    graph with cycle detection, and the blocking frontier. It never
+    changes the exception message — timestamps and text stay
+    bit-identical across run loops."""
+
+    def __init__(self, cycle, detail="", forensics=None):
         self.cycle = cycle
         self.detail = detail
+        self.forensics = forensics
         msg = f"simulation deadlocked at cycle {cycle}"
         if detail:
             msg += f": {detail}"

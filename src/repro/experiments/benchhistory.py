@@ -93,17 +93,32 @@ def load_bench_results(paths):
 
 # --------------------------------------------------------------------- ledger
 
-def append_entry(ledger, bench_paths, note="", ts=None, source="local"):
+def append_entry(ledger, bench_paths, note="", ts=None, source="local",
+                 dedup=False):
     """Record the current snapshots as one ledger line; returns the entry.
 
     ``ts`` defaults to now; tests pass a fixed value for determinism.
+
+    With ``dedup``, the append is skipped (returning ``None``) when the
+    ledger's last entry came from the same ``source`` and carries
+    byte-identical ``results`` — re-running CI or ``--append`` on an
+    unchanged working tree must not pile duplicate history lines.
     """
+    results = load_bench_results(bench_paths)
+    if dedup:
+        history = load_history(ledger)
+        if history:
+            tail = history[-1]
+            if (tail.get("source") == source
+                    and json.dumps(tail.get("results"), sort_keys=True)
+                    == json.dumps(results, sort_keys=True)):
+                return None
     entry = {
         "schema": SCHEMA,
         "ts": round(time.time(), 3) if ts is None else ts,
         "source": source,
         "note": note,
-        "results": load_bench_results(bench_paths),
+        "results": results,
     }
     with open(ledger, "a", encoding="utf-8") as f:
         f.write(json.dumps(entry, sort_keys=True) + "\n")
@@ -323,9 +338,13 @@ def main(argv=None):
                    else find_bench_files())
     if args.append:
         entry = append_entry(args.ledger, bench_paths, note=args.note,
-                             source=args.source)
-        print(f"appended entry ({len(entry['results'])} benchmarks) "
-              f"to {args.ledger}")
+                             source=args.source, dedup=True)
+        if entry is None:
+            print(f"skipped append: snapshots identical to the last "
+                  f"{args.source!r} entry in {args.ledger}")
+        else:
+            print(f"appended entry ({len(entry['results'])} benchmarks) "
+                  f"to {args.ledger}")
         entries = load_history(args.ledger)
     else:
         entries = merged_entries(args.ledger, bench_paths)

@@ -36,6 +36,17 @@ Observability (see ``docs/observability.md``):
   (``bigvlittle-hostprof-v1``). This is the measurement behind the
   ROADMAP's vectorized-lane-execution plan: the biggest host share is
   what to batch next.
+* ``bigvlittle critpath <workload> [--json PATH]`` — the dual of
+  ``hostprof``: attribute every advance of *simulated* time to the unit
+  group whose armed event gated it, plus the wakeup-graph profile
+  (``bigvlittle-critpath-v1``). The per-group critical sim-times tile
+  the total simulated time exactly.
+* ``bigvlittle inspect <workload> [--at-ns N] [--json PATH]`` — the
+  deadlock-forensics snapshot (``bigvlittle-forensics-v1``) on demand:
+  every unit's scheduling state, the wait-for graph with cycle
+  detection, and the blocking frontier, taken at the ``--at-ns``
+  horizon (or at completion). The same report rides on every
+  ``DeadlockError`` as ``err.forensics``.
 * ``bigvlittle diff a.json b.json [--gate]`` — classified stat diff of two
   run dumps; under ``--gate`` any exact mismatch or out-of-tolerance
   timing delta exits nonzero (the CI regression gate). ``--tolerances``
@@ -99,6 +110,10 @@ def main(argv=None):
         return _obs_main(argv[0], argv[1:])
     if argv and argv[0] == "hostprof":
         return _hostprof_main(argv[1:])
+    if argv and argv[0] == "critpath":
+        return _critpath_main(argv[1:])
+    if argv and argv[0] == "inspect":
+        return _inspect_main(argv[1:])
     if argv and argv[0] == "bench-history":
         return _bench_history_main(argv[1:])
     if argv and argv[0] == "diff":
@@ -410,6 +425,118 @@ def _hostprof_main(argv):
     print(f"== {args.workload}@{args.scale} on {args.system}: "
           f"{result.cycles} cycles (1 GHz), simulated in {wall:.1f}s ==")
     print(hs.format_table(top=args.top))
+    return 0
+
+
+def _critpath_main(argv):
+    ap = argparse.ArgumentParser(
+        prog="bigvlittle critpath",
+        description="Attribute every advance of simulated time in one run "
+                    "to the unit group whose armed event gated it, plus the "
+                    "wakeup-graph profile (bigvlittle-critpath-v1)")
+    ap.add_argument("workload", help="workload name, e.g. saxpy, mmult, bfs")
+    ap.add_argument("--system", default="1b-4VL",
+                    help="system preset (default: 1b-4VL)")
+    ap.add_argument("--scale", default="small",
+                    choices=("tiny", "small", "full"))
+    ap.add_argument("--top", type=int, default=10, metavar="N",
+                    help="show at most N wakeup seams (default: 10)")
+    ap.add_argument("--json", nargs="?", const="-", default=None,
+                    metavar="PATH",
+                    help="write the bigvlittle-critpath-v1 report as JSON to "
+                         "PATH ('-' or no value: stdout) instead of the table")
+    args = ap.parse_args(argv)
+
+    import repro
+    from repro.experiments.runner import _program_for
+    from repro.obs import CritPath
+    from repro.soc import System, preset
+    from repro.workloads import get_workload
+
+    # always simulate fresh: like every obs verb, the attribution is a
+    # property of one live event-core schedule, never cache material
+    cfg = preset(args.system)
+    program = _program_for(cfg, get_workload(args.workload, args.scale))
+    cp = CritPath()
+    t0 = time.time()
+    result = System(cfg).run(program, critpath=cp)
+    wall = time.time() - t0
+    meta = {
+        "workload": args.workload,
+        "system": args.system,
+        "scale": args.scale,
+        "loop": "event",
+        "sim_version": repro.__version__,
+        "cycles": result.cycles,
+    }
+    if args.json is not None:
+        doc = cp.report(meta=meta)
+        if args.json == "-":
+            print(json.dumps(doc, indent=1, sort_keys=True))
+        else:
+            cp.write_json(args.json, meta=meta)
+            print(f"wrote critpath report ({len(doc['groups'])} groups, "
+                  f"{doc['wakeup_edges']} wakeup edges) to {args.json}")
+        return 0
+    print(f"== {args.workload}@{args.scale} on {args.system}: "
+          f"{result.cycles} cycles (1 GHz), simulated in {wall:.1f}s ==")
+    print(cp.format_table(top=args.top))
+    return 0
+
+
+def _inspect_main(argv):
+    ap = argparse.ArgumentParser(
+        prog="bigvlittle inspect",
+        description="Snapshot every unit's scheduling state — the "
+                    "wait-for graph, cycles, and blocking frontier — at an "
+                    "--at-ns horizon or at completion "
+                    "(bigvlittle-forensics-v1; the same report every "
+                    "DeadlockError carries as err.forensics)")
+    ap.add_argument("workload", help="workload name, e.g. saxpy, mmult, bfs")
+    ap.add_argument("--system", default="1b-4VL",
+                    help="system preset (default: 1b-4VL)")
+    ap.add_argument("--scale", default="small",
+                    choices=("tiny", "small", "full"))
+    ap.add_argument("--at-ns", type=int, default=None, metavar="N",
+                    help="stop the run at N simulated ns and snapshot there "
+                         "(default: run to completion and snapshot the end "
+                         "state)")
+    ap.add_argument("--json", nargs="?", const="-", default=None,
+                    metavar="PATH",
+                    help="write the bigvlittle-forensics-v1 report as JSON "
+                         "to PATH ('-' or no value: stdout) instead of the "
+                         "text rendering")
+    args = ap.parse_args(argv)
+
+    from repro.errors import DeadlockError
+    from repro.experiments.runner import _program_for
+    from repro.obs.forensics import format_report, snapshot, write_json
+    from repro.soc import System, preset
+    from repro.workloads import get_workload
+
+    cfg = preset(args.system)
+    program = _program_for(cfg, get_workload(args.workload, args.scale))
+    system = System(cfg)
+    run_kwargs = {} if args.at_ns is None else {"max_ns": args.at_ns}
+    try:
+        result = system.run(program, **run_kwargs)
+    except DeadlockError as e:
+        # the horizon (or a genuine deadlock) fired: its attached report
+        # IS the requested snapshot
+        report = e.forensics
+        if report is None:  # pragma: no cover - snapshot seam failed
+            raise
+    else:
+        report = snapshot(system, result.stats["time_ps"], reason="completed")
+    if args.json is not None:
+        if args.json == "-":
+            print(json.dumps(report, indent=1, sort_keys=True))
+        else:
+            write_json(report, args.json)
+            print(f"wrote forensics snapshot ({len(report['units'])} units, "
+                  f"{len(report['wait_for'])} wait edges) to {args.json}")
+        return 0
+    print(format_report(report))
     return 0
 
 

@@ -161,10 +161,17 @@ class ParallelRunner:
                             tel.event("run_start", key=key, system=req.system,
                                       workload=req.workload, scale=req.scale,
                                       sim_version=SIM_VERSION)
+                            timing = result.timing
                             tel.event(
                                 "run_end", key=key,
-                                wall_s=round(
-                                    result.timing.get("wall_s", 0.0), 6),
+                                wall_s=round(timing.get("wall_s", 0.0), 6),
+                                sim_wall_s=round(
+                                    timing.get("sim_wall_s",
+                                               timing.get("wall_s", 0.0)), 6),
+                                load_wall_s=round(
+                                    timing.get("load_wall_s", 0.0), 6),
+                                level="disk" if timing.get("from_cache")
+                                else "fresh",
                                 cycles=result.cycles)
                             tel.span(payload["pid"], req.label(),
                                      payload["t_start"], payload["t_end"],

@@ -90,8 +90,13 @@ def run_pair(system_name, workload_name, scale="small", cfg=None, use_cache=True
     result = System(cfg).run(program)
     t_end = time.time()
     if tel is not None:
+        timing = result.timing
         tel.event("run_end", key=key,
-                  wall_s=round(result.timing.get("wall_s", 0.0), 6),
+                  wall_s=round(timing.get("wall_s", 0.0), 6),
+                  sim_wall_s=round(timing.get("sim_wall_s",
+                                              timing.get("wall_s", 0.0)), 6),
+                  load_wall_s=round(timing.get("load_wall_s", 0.0), 6),
+                  level="disk" if timing.get("from_cache") else "fresh",
                   cycles=result.cycles)
         tel.span("main", f"{system_name}/{workload_name}@{scale}",
                  t_start, t_end, key=key)

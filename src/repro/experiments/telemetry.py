@@ -18,7 +18,8 @@ Event vocabulary (all carry ``ts``, wall-clock seconds since the epoch):
 ``cache_corrupt`` ``key``, ``path``
 ``run_start``     ``key``, ``system``, ``workload``, ``scale``,
                   ``sim_version``
-``run_end``       ``key``, ``wall_s``, ``cycles``
+``run_end``       ``key``, ``wall_s``, ``sim_wall_s``, ``load_wall_s``,
+                  ``level`` (``fresh``/``disk``), ``cycles``
 ``worker_busy``   ``worker``, ``label``, ``t_start``, ``t_end``, ``dur_s``
 ``sweep_end``     the runner's summary dict
 ========== ===========================================================

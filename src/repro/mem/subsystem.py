@@ -158,6 +158,33 @@ class MemorySystem:
             bound = t
         return bound
 
+    def forensic_state(self, now):
+        """Scheduling-state summary for :mod:`repro.obs.forensics`.
+        Pure (read-only): pending L1 fill responses plus the L2/DRAM
+        busy horizons — the memory side never *waits* on anyone, so its
+        ``waits_on`` is always empty."""
+        fills = 0
+        next_fill = _INF
+        for q in self._l1_queues:
+            dq = q._q
+            if dq:
+                fills += len(dq)
+                t = dq[0][0]
+                if t < next_fill:
+                    next_fill = t
+        l2_busy = max(self.l2._bank_free)
+        dram_busy = self.dram._next_free
+        return {
+            "l1_fills_pending": fills,
+            "next_fill_ps": None if next_fill >= _INF else next_fill,
+            "l2_busy_until_ps": l2_busy if l2_busy > now else None,
+            "dram_busy_until_ps": dram_busy if dram_busy > now else None,
+            "dram_reads": self.dram.reads,
+            "dram_writes": self.dram.writes,
+            "done": fills == 0,
+            "waits_on": [],
+        }
+
     def skip_ticks(self, n, now):
         """Replay ``n`` provably idle memory ticks (per-cycle busy/idle
         attribution is the only per-tick effect, and only under obs)."""

@@ -63,6 +63,9 @@ from repro.obs.diff import (
     diff_timelines,
     dump_result,
 )
+from repro.obs.critpath import CritPath
+from repro.obs.forensics import format_report as format_forensics
+from repro.obs.forensics import snapshot as forensics_snapshot
 from repro.obs.hooks import Observation, UnitObs
 from repro.obs.host import HostScope
 from repro.obs.metrics import MetricsRegistry
@@ -73,6 +76,7 @@ from repro.obs.tracer import Tracer
 
 __all__ = [
     "Observation", "UnitObs", "MetricsRegistry", "Tracer", "HostScope",
+    "CritPath", "forensics_snapshot", "format_forensics",
     "PipeView", "IntervalSampler", "load_timeline",
     "PhaseReport", "PhaseThresholds", "detect_phases",
     "DiffReport", "classify", "diff_files", "diff_stats", "dump_result",

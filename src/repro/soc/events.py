@@ -59,6 +59,7 @@ import heapq
 import time
 
 from repro.errors import DeadlockError
+from repro.log import get_logger
 from repro.vector import DecoupledVectorEngine, VLittleEngine
 
 _INF = 1 << 60
@@ -69,6 +70,58 @@ _INF = 1 << 60
 WATCHDOG_PS = 20_000_000
 
 _BIG, _LITTLE, _MEM = 0, 1, 2
+
+#: watchdog / horizon diagnostics go through the structured logger —
+#: shared by both run loops so the text channel matches the shared
+#: DeadlockError construction below
+_wdlog = get_logger("repro.soc.watchdog")
+
+
+def _grab_forensics(system, t_ps, reason):
+    """Best-effort scheduling snapshot for a DeadlockError: the probes
+    are pure, but an error-path diagnostic must never mask the deadlock
+    it is describing, so any snapshot failure degrades to None."""
+    try:
+        from repro.obs.forensics import snapshot
+        return snapshot(system, t_ps, reason=reason)
+    except Exception:
+        return None
+
+
+def progress_check(system, t_ps, last_instrs, loop):
+    """One watchdog window's progress check, shared by both run loops:
+    returns ``(stalled, signature)`` and routes the diagnostic through
+    :mod:`repro.log` (debug level — silent by default)."""
+    instrs = system._progress_signature()
+    stalled = instrs == last_instrs
+    if _wdlog.enabled_for("debug"):
+        _wdlog.debug("watchdog progress check", loop=loop, t_ps=t_ps,
+                     signature=instrs, window_ps=WATCHDOG_PS,
+                     stalled=stalled)
+    return stalled, instrs
+
+
+def watchdog_deadlock(system, t_ps, loop):
+    """The watchdog's DeadlockError — one constructor for both run loops
+    keeps the message and timestamp bit-identical across them — with the
+    forensics snapshot attached and the failure logged (error level: a
+    stalled simulation is always a bug in the workload or the model)."""
+    detail = f"no instruction progress in system {system.config.name}"
+    rep = _grab_forensics(system, t_ps, reason="watchdog")
+    _wdlog.error(detail, loop=loop, t_ps=t_ps, window_ps=WATCHDOG_PS,
+                 frontier=",".join(rep["blocking_frontier"]) if rep else "")
+    return DeadlockError(t_ps, detail, forensics=rep)
+
+
+def horizon_deadlock(system, t_ps, max_ns, loop):
+    """The ``max_ns``-horizon DeadlockError, forensics attached. Logged
+    at debug only: hitting the horizon is often deliberate (bounded
+    runs, ``bigvlittle inspect --at-ns``)."""
+    if _wdlog.enabled_for("debug"):
+        _wdlog.debug(f"exceeded max_ns={max_ns}", loop=loop, t_ps=t_ps)
+    return DeadlockError(t_ps, f"exceeded max_ns={max_ns}",
+                         forensics=_grab_forensics(system, t_ps,
+                                                   reason="horizon"))
 
 
 class EventQueue:
@@ -254,6 +307,20 @@ def run_event_loop(system, max_ns):
         for u in units:
             u.tick = hs.wrap(u.tick, unit_group(u.name, u.domain), arity=1)
         hs.install(system)
+    # critical-path attribution (repro.obs.critpath): wrap every unit's
+    # dispatch so the first execution at each new union-grid instant
+    # charges the advance to its group. Wrapped *outside* any hostscope
+    # wrapper so critpath bookkeeping lands in hostprof's scheduler
+    # residual, not in the group walls it is measuring.
+    cp = system.critpath
+    wk_edges = None
+    if cp is not None:
+        from repro.obs.host import unit_group
+        cp.attach([(u.uid, u.name, unit_group(u.name, u.domain))
+                   for u in units])
+        for u in units:
+            u.tick = cp.wrap(u.tick, unit_group(u.name, u.domain))
+        wk_edges = cp.edges
     bunits = [u for u in units if u.domain == _BIG]
     lunits = [u for u in units if u.domain == _LITTLE]
     munits = [u for u in units if u.domain == _MEM]
@@ -314,7 +381,7 @@ def run_event_loop(system, max_ns):
     hctx = [0, -1, 0, 0, 0]
     pend = []  # units awaiting the end-of-iteration re-arm pass
 
-    def make_hook(u):
+    def make_hook(u, edges=None):
         d = u.domain
         p = periods[d]
         skip = u.skip
@@ -338,11 +405,24 @@ def run_event_loop(system, max_ns):
                     u.pending = True
                     pend.append(u)
 
-        return hook
+        if edges is None:
+            return hook
+
+        # critpath wakeup-graph profiling: a separate closure so the
+        # no-critpath hook pays nothing. hctx[1] is the currently
+        # ticking unit (-1 outside service blocks = scheduler/external).
+        wid = u.uid
+
+        def counting_hook():
+            hook()
+            k = (hctx[1], wid)
+            edges[k] = edges.get(k, 0) + 1
+
+        return counting_hook
 
     if not dense:
         for u in units:
-            u.owner._ev_notify = make_hook(u)
+            u.owner._ev_notify = make_hook(u, wk_edges)
 
     def settle_meta(t_exit):
         # every domain-grid slot in [0, t_exit] is serviced exactly once
@@ -687,6 +767,8 @@ def run_event_loop(system, max_ns):
                     tlx = tl if tl != _INF else (T // pl + 1) * pl
                     _settle_all(allunits, tb, tlx, tm, periods)
                     settle_meta(T)
+                    if cp is not None:
+                        cp.finalize(T + max(pb, pl, pm))
                     return system._result(T + max(pb, pl, pm))
                 continue
             tlx = tl if tl != _INF else (T // pl + 1) * pl
@@ -697,21 +779,26 @@ def run_event_loop(system, max_ns):
             if any_exec and done():
                 _settle_all(allunits, tb, tlx, tm, periods)
                 settle_meta(T)
+                if cp is not None:
+                    cp.finalize(T + max(pb, pl, pm))
                 return system._result(T + max(pb, pl, pm))
             if T >= wd_target:
                 wd_target = T + WATCHDOG_PS
-                instrs = system._progress_signature()
-                if instrs == last_instrs:
+                stalled, instrs = progress_check(system, T, last_instrs,
+                                                 "event")
+                if stalled:
                     _settle_all(allunits, tb, tlx, tm, periods)
                     settle_meta(T)
-                    raise DeadlockError(
-                        T,
-                        f"no instruction progress in system {system.config.name}")
+                    if cp is not None:
+                        cp.finalize(T, stalled=True)
+                    raise watchdog_deadlock(system, T, "event")
                 last_instrs = instrs
             if T >= max_ps:
                 _settle_all(allunits, tb, tlx, tm, periods)
                 settle_meta(T)
-                raise DeadlockError(T, f"exceeded max_ns={max_ns}")
+                if cp is not None:
+                    cp.finalize(T)
+                raise horizon_deadlock(system, T, max_ns, "event")
             bmin = next_sample if next_sample < wd_target else wd_target
             if max_ps < bmin:
                 bmin = max_ps

@@ -22,7 +22,7 @@ from __future__ import annotations
 import time
 
 from repro.cores import BigCore, LittleCore
-from repro.errors import ConfigError, DeadlockError, WorkloadError
+from repro.errors import ConfigError, WorkloadError
 from repro.mem import MemorySystem
 from repro.runtime.workstealing import WorkStealingRuntime
 from repro.soc.config import SoCConfig
@@ -40,7 +40,8 @@ class System:
                  "engine", "runtime", "_pb", "_pl", "_pm", "_name",
                  "_wall_t0", "_ticks_big", "_ticks_little", "_ticks_mem",
                  "_skipped_big", "_skipped_little", "_skipped_mem",
-                 "_done_blocker", "_event_unit_ticks", "hostscope")
+                 "_done_blocker", "_event_unit_ticks", "hostscope",
+                 "critpath")
 
     def __init__(self, config, obs=None):
         if not isinstance(config, SoCConfig):
@@ -121,9 +122,11 @@ class System:
         self._skipped_big = self._skipped_little = self._skipped_mem = 0
         self._done_blocker = None
         self._event_unit_ticks = None  # per-unit executed ticks (event loop)
-        # host-side profiling (repro.obs.host) — like obs, never part of
-        # SoCConfig or cache keys, and a no-op unless attached via run()
+        # host-side profiling (repro.obs.host) and sim-time critical-path
+        # attribution (repro.obs.critpath) — like obs, never part of
+        # SoCConfig or cache keys, and no-ops unless attached via run()
         self.hostscope = None
+        self.critpath = None
         self._wall_t0 = time.perf_counter()
 
     # ------------------------------------------------------------------- run
@@ -187,7 +190,7 @@ class System:
             obs.sampler.attach(self, obs)
 
     def run(self, program=None, max_ns=50_000_000, quiet=True, obs=None,
-            skip=True, loop="event", hostscope=None):
+            skip=True, loop="event", hostscope=None, critpath=None):
         """Simulate to completion; returns a :class:`RunResult`.
 
         ``skip`` toggles idle-time elision entirely; ``loop`` picks the
@@ -205,13 +208,24 @@ class System:
         core's dispatch — also run-time-only and stat-invisible, but it
         requires the event loop (the other loops have no per-unit
         dispatch seam to hook).
+
+        ``critpath`` attaches a :class:`~repro.obs.critpath.CritPath`
+        that charges every advance of simulated time to the unit group
+        whose armed event gated it, plus a wakeup-graph profile — the
+        same contract as ``hostscope``: run-time-only, stat-invisible,
+        event loop required (the other loops advance all domains in
+        lockstep and have no per-unit gating to attribute).
         """
         if loop not in ("event", "legacy"):
             raise ConfigError(f"unknown run loop {loop!r}")
         if hostscope is not None and (not skip or loop != "event"):
             raise ConfigError("hostscope requires the event loop "
                               "(skip=True, loop='event')")
+        if critpath is not None and (not skip or loop != "event"):
+            raise ConfigError("critpath requires the event loop "
+                              "(skip=True, loop='event')")
         self.hostscope = hostscope
+        self.critpath = critpath
         if program is not None:
             self.load(program)
         if obs is None:
@@ -238,6 +252,9 @@ class System:
         sampler = self.obs.sampler if self.obs is not None else None
         next_sample = sampler.interval_ps if sampler is not None else max_ps + 1
         from repro.soc.events import WATCHDOG_PS as watchdog_ps
+        from repro.soc.events import (horizon_deadlock, progress_check,
+                                      watchdog_deadlock)
+        loop_name = "legacy" if skip else "dense"
         last_progress_check = 0
         last_instrs = -1
         ticks_big = ticks_little = ticks_mem = 0
@@ -313,13 +330,14 @@ class System:
             # e.g. a long mode-switch penalty)
             if t - last_progress_check >= watchdog_ps:  # every ~20k ns
                 last_progress_check = t
-                instrs = self._progress_signature()
-                if instrs == last_instrs:
+                stalled, instrs = progress_check(self, t, last_instrs,
+                                                 loop_name)
+                if stalled:
                     self._ticks_big, self._ticks_little, self._ticks_mem = \
                         ticks_big, ticks_little, ticks_mem
                     self._skipped_big, self._skipped_little, self._skipped_mem = \
                         skipped_big, skipped_little, skipped_mem
-                    raise DeadlockError(t, f"no instruction progress in system {self.config.name}")
+                    raise watchdog_deadlock(self, t, loop_name)
                 last_instrs = instrs
             if not skip:
                 continue
@@ -419,7 +437,7 @@ class System:
             ticks_big, ticks_little, ticks_mem
         self._skipped_big, self._skipped_little, self._skipped_mem = \
             skipped_big, skipped_little, skipped_mem
-        raise DeadlockError(t, f"exceeded max_ns={max_ns}")
+        raise horizon_deadlock(self, t, max_ns, loop_name)
 
     def _progress_signature(self):
         """Monotonic global progress count for the deadlock watchdog:

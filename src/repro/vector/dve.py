@@ -155,6 +155,28 @@ class DecoupledVectorEngine:
             and self._store_outstanding == 0
         )
 
+    def forensic_state(self, now):
+        """Scheduling-state summary for :mod:`repro.obs.forensics`.
+        Pure (read-only); see :meth:`BigCore.forensic_state`."""
+        waits = []
+        if (self._inflight or self._pending_reqs
+                or self._store_outstanding):
+            waits.append(("mem",
+                          f"{self._inflight} line(s) in flight, "
+                          f"{len(self._pending_reqs)} queued, "
+                          f"{self._store_outstanding} store(s) outstanding"))
+        return {
+            "cmdq": len(self._cmdq),
+            "cmdq_depth": self.cmdq_depth,
+            "pending_line_reqs": len(self._pending_reqs),
+            "inflight_lines": self._inflight,
+            "loadq_used": self._loadq_used,
+            "store_outstanding": self._store_outstanding,
+            "instrs": self.instrs,
+            "done": self.idle(),
+            "waits_on": waits,
+        }
+
     # ------------------------------------------------------- skip scheduling
 
     def next_accept_ps(self, now):

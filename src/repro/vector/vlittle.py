@@ -537,6 +537,31 @@ class VLittleEngine:
             and not self.vxu.busy()
         )
 
+    def forensic_state(self, now):
+        """Scheduling-state summary for :mod:`repro.obs.forensics`.
+        Pure (read-only); see :meth:`BigCore.forensic_state`."""
+        waits = []
+        if not self.vmu.idle():
+            waits.append(("mem", "VMU has commands or lines in flight"))
+        ready_at = self._ready_at
+        return {
+            "uopq": len(self._uopq),
+            "uopq_depth": self.uopq_depth,
+            "dataq_used": self._dataq_used,
+            "dataq_depth": self.dataq_depth,
+            "fences_pending": self._fences_pending,
+            "busy_lanes": sum(1 for l in self.lanes if l.latch is not None),
+            "lanes": self.lanes_count,
+            "vxu_busy": self.vxu.busy(),
+            "mode": "scalar" if ready_at is None else "vector",
+            "mode_ready_ps": (ready_at if ready_at is not None
+                              and ready_at > now else None),
+            "vmu": self.vmu.forensic_state(now),
+            "instrs": self.instrs,
+            "done": self.idle(),
+            "waits_on": waits,
+        }
+
     # ------------------------------------------------------- skip scheduling
 
     def _broadcast_probe(self, now):

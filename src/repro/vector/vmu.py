@@ -149,6 +149,19 @@ class VectorMemoryUnit:
         return (not self._cmdq and all(v.idle() for v in self.vmsus)
                 and self.vlu.idle() and self.vsu.idle())
 
+    def forensic_state(self, now):
+        """Occupancy summary for :mod:`repro.obs.forensics` (pure),
+        nested into the owning engine's snapshot."""
+        return {
+            "cmdq": len(self._cmdq),
+            "loadq_pending": len(self.vlu.pending),
+            "storeq_pending": len(self.vsu.pending),
+            "vmsu_inq": [len(v.inq) for v in self.vmsus],
+            "vmsu_ldq_used": [v.ldq_used for v in self.vmsus],
+            "vmsu_sdq": [len(v.sdq) for v in self.vmsus],
+            "store_fills_inflight": sum(v._store_fills for v in self.vmsus),
+        }
+
     # ------------------------------------------------------------------ tick
 
     def tick(self, now):

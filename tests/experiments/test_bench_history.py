@@ -58,6 +58,38 @@ def test_append_and_load_roundtrip(snapshots):
     assert history[0]["ts"] == 100.0 and history[1]["note"] == "second"
 
 
+def test_append_dedup_skips_identical_tail(snapshots):
+    root, paths = snapshots
+    ledger = root / "BENCH_history.jsonl"
+    assert append_entry(str(ledger), paths, ts=1.0, source="ci",
+                        dedup=True) is not None
+    # same snapshots, same source: a dedup append is a no-op
+    assert append_entry(str(ledger), paths, ts=2.0, source="ci",
+                        dedup=True) is None
+    assert len(load_history(str(ledger))) == 1
+    # a different source still appends even with identical results
+    assert append_entry(str(ledger), paths, ts=3.0, source="local",
+                        dedup=True) is not None
+    # changed numbers append again
+    _bench_file(root / "BENCH_alpha.json",
+                {"alpha:saxpy": {"wall_s": 0.5, "speedup": 4.0}})
+    assert append_entry(str(ledger), paths, ts=4.0, source="local",
+                        dedup=True) is not None
+    assert len(load_history(str(ledger))) == 3
+
+
+def test_cli_append_dedups_and_reports_skip(snapshots, capsys):
+    root, paths = snapshots
+    ledger = root / "BENCH_history.jsonl"
+    assert main(["--ledger", str(ledger), "--bench", *paths,
+                 "--append"]) == 0
+    assert main(["--ledger", str(ledger), "--bench", *paths,
+                 "--append"]) == 0
+    stdout = capsys.readouterr().out
+    assert "appended entry" in stdout and "skipped append" in stdout
+    assert len(load_history(str(ledger))) == 1
+
+
 def test_merge_is_deterministic(snapshots):
     root, paths = snapshots
     ledger = root / "BENCH_history.jsonl"

@@ -48,6 +48,17 @@ def test_run_pair_emits_run_events(fresh_cache, tel):
     assert ends[0]["cycles"] > 0 and ends[0]["wall_s"] > 0
 
 
+def test_run_end_carries_timing_split(fresh_cache, tel):
+    run_pair("1b", "vvadd", "tiny")
+    (end,) = [e for e in tel.events if e["ev"] == "run_end"]
+    assert end["level"] == "fresh"
+    assert end["sim_wall_s"] > 0
+    assert end["load_wall_s"] == 0.0  # fresh run: nothing loaded from disk
+    # the split tiles the total within JSONL rounding
+    assert end["sim_wall_s"] + end["load_wall_s"] == pytest.approx(
+        end["wall_s"], abs=2e-6)
+
+
 def test_jsonl_matches_cache_stats_exactly(fresh_cache, tel):
     reqs = [RunRequest("1b", w, "tiny") for w in ("vvadd", "saxpy", "vvadd")]
     runner = ParallelRunner(jobs=1, cache=fresh_cache)
