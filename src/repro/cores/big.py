@@ -311,7 +311,41 @@ class BigCore:
             if t < bound:
                 bound = t
         if self._ready:
-            return 0  # issue stage retries every tick
+            # mirror _try_issue_one's failure paths: an entry only fails
+            # on a *future* tick when a known timer blocks it — the IVU's
+            # shared cache port or an unpipelined FU. Everything else
+            # (per-cycle issue slots, L1D accesses) is issuable on any
+            # fresh cycle, so its presence vetoes the skip.
+            t_ready = _INF
+            for entry in self._ready:
+                ins = entry.ins
+                if ins.is_vector:
+                    cls = VOP_CLASS[ins.op]
+                    if cls in (VClass.MEM_UNIT, VClass.MEM_STRIDE,
+                               VClass.MEM_INDEX):
+                        t = self._ivu_port_free
+                        if t > now:
+                            if t < t_ready:
+                                t_ready = t
+                            continue
+                        return 0  # port free: the access runs next tick
+                    fu = _IVU_FU[cls]
+                    if fu != FUClass.FPU:
+                        t = self.fu.next_free_ps(fu, now)
+                        if t:
+                            if t < t_ready:
+                                t_ready = t
+                            continue
+                    return 0
+                t = self.fu.next_free_ps(
+                    FUClass.ALU if entry.is_store else OP_FU[ins.op], now)
+                if t:
+                    if t < t_ready:
+                        t_ready = t
+                    continue
+                return 0
+            if t_ready < bound:
+                bound = t_ready
         if self._rob:
             e = self._rob[0]
             ins = e.ins

@@ -92,6 +92,17 @@ class FUPool:
             return None
         return self.issue(fu, now, occupancy)
 
+    def sync_from(self, other):
+        """Adopt ``other``'s dynamic issue state (per-cycle slot usage and
+        unpipelined busy tracking). Used by the VLITTLE engine's batched
+        lane executor: while the lanes run in lockstep only the leader
+        lane's pool is charged, and a divergence fallback copies it into
+        the followers — whose conceptual state is identical — before the
+        per-lane path resumes."""
+        self._now = other._now
+        self._used = dict(other._used)
+        self._busy_until = dict(other._busy_until)
+
     def next_free_ps(self, fu, now):
         """Earliest future ps at which a *fresh* cycle could issue ``fu``,
         or 0 if the very next tick can (per-cycle slot usage resets every

@@ -54,7 +54,10 @@ RUN_DUMP_SCHEMA = "bigvlittle-run-v1"
 
 #: stats-key prefixes/fragments that denote cycle-denominated quantities
 _TIMING_KEYS = frozenset(("time_ps", "cycles_1ghz", "dram_busy_cycles"))
-_META_PREFIXES = ("obs.trace.", "obs.pipeview.", "obs.sampler.", "sim.ticks_")
+_META_PREFIXES = ("obs.trace.", "obs.pipeview.", "obs.sampler.", "sim.ticks_",
+                  # scheduler-shaped bookkeeping: the forced-scalar
+                  # differential arm never enters batch mode
+                  "obs.metric.vcu.batch_fallbacks")
 
 
 def classify(key):

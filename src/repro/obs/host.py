@@ -5,7 +5,9 @@ module watches the simulation. A :class:`HostScope` attaches to one run
 of the event-driven core (``System.run(..., hostscope=HostScope())``)
 and attributes host wall-seconds to per-component **unit groups** —
 ``big`` / ``little`` / ``vcu`` / ``vmu`` / ``vxu`` / ``dve`` / ``l2`` /
-``dram`` / ``mem`` / ``scheduler`` — by timing the event core's per-unit
+``dram`` / ``mem`` / ``scheduler``, plus the ``vcu.lanes.batch`` /
+``vcu.lanes.scalar`` executor split nested under the VLITTLE engine —
+by timing the event core's per-unit
 dispatch with the monotonic clock, plus a handful of nested seams
 (VMU/VXU inside the engine tick, L2/DRAM request processing inside
 whichever unit triggered it).
@@ -48,8 +50,8 @@ from repro.errors import ConfigError
 SCHEMA = "bigvlittle-hostprof-v1"
 
 #: canonical group order for reports (groups with zero events are elided)
-GROUPS = ("big", "little", "vcu", "vmu", "vxu", "dve", "l2", "dram",
-          "mem", "scheduler")
+GROUPS = ("big", "little", "vcu", "vcu.lanes.batch", "vcu.lanes.scalar",
+          "vmu", "vxu", "dve", "l2", "dram", "mem", "scheduler")
 
 # per-group record layout: [inclusive_s, child_s, calls, sampled]
 _INCL, _CHILD, _CALLS, _SAMPLED = range(4)
@@ -226,6 +228,8 @@ class HostScope:
             from repro.vector.vmu import VectorMemoryUnit
             from repro.vector.vxu import VXU
 
+            from repro.vector.vlittle import Lane
+
             patches += [
                 # the engine drives the VMU as ``self.vmu.tick(now)`` —
                 # always exactly two positionals, so the cheap wrapper
@@ -233,6 +237,13 @@ class HostScope:
                 (VXU, "start", "vxu", None),
                 (VXU, "read_arrived", "vxu", None),
                 (VXU, "result_ready", "vxu", None),
+                # lane execution, split by executor: the chime-batched
+                # leader+mirror step vs the per-lane scalar path it
+                # falls back to on divergence. Both are sub-rows of
+                # ``vcu`` — their wall-time is subtracted from the
+                # engine tick by the scope stack
+                (VLittleEngine, "_batch_tick", "vcu.lanes.batch", 2),
+                (Lane, "tick", "vcu.lanes.scalar", 2),
             ]
         for cls, name, group, arity in patches:
             orig = getattr(cls, name)
@@ -332,17 +343,17 @@ class HostScope:
         rows = self.group_rows()
         if top is not None:
             rows = rows[:top]
-        hdr = (f"{'group':<10} {'wall':>10} {'share':>7} {'events':>10} "
+        hdr = (f"{'group':<16} {'wall':>10} {'share':>7} {'events':>10} "
                f"{'us/event':>9}")
         lines = [hdr, "-" * len(hdr)]
         for r in rows:
             per = (r["wall_s"] / r["events"] * 1e6) if r["events"] else 0.0
-            lines.append(f"{r['group']:<10} {r['wall_s'] * 1000:>8.1f}ms "
+            lines.append(f"{r['group']:<16} {r['wall_s'] * 1000:>8.1f}ms "
                          f"{r['share'] * 100:>6.1f}% {r['events']:>10} "
                          f"{per:>9.2f}")
         attributed = sum(r["wall_s"] for r in self.group_rows())
         cov = attributed / self.wall_s * 100 if self.wall_s > 0 else 0.0
-        lines.append(f"{'total':<10} {self.wall_s * 1000:>8.1f}ms "
+        lines.append(f"{'total':<16} {self.wall_s * 1000:>8.1f}ms "
                      f"(attributed {attributed * 1000:.1f}ms = {cov:.1f}%, "
                      f"stride {self.stride})")
         return "\n".join(lines)

@@ -42,15 +42,41 @@ Determinism rules (docs/performance.md has the full wakeup graph):
 3. **Re-arm on wakeup.** The same hooks invalidate the sleeping unit's
    cached bound, so it re-probes before it is next scheduled. The one
    dependency with no push seam — a big core armed on the engine's
-   ``next_accept_ps`` — keeps a static wakeup edge: every executed
-   engine tick dirties its big cores. Probes are pure, so a spurious
-   wakeup can never change state.
+   ``next_accept_ps`` — keeps a static wakeup edge, fired after an
+   executed engine tick only when the accept bound actually moved
+   (engine-drain wakeups for the mode-switch retire ride the engine's
+   own probe going ``_INF`` in the re-arm pass, which always fires the
+   edge). Probes are pure, so a spurious wakeup can never change state.
 4. **Ties break by unit id.** Equal-time events are serviced by
    ascending unit id, which is ground order by construction.
 
+**Dense bursts.** When consecutive iterations land on (near-)adjacent
+grid instants the per-event machinery — bound selection, heap
+maintenance, the re-arm pass — is pure overhead over the dense loop it
+emulates, so after a short streak the loop drops into a burst: every
+awake unit ticks at every slot of its domain, in ground order, with no
+re-arm probes at all. Correctness rests on the probe contract alone
+(ticking an awake unit before its bound only performs per-cycle
+constants — exactly what ``skip_ticks`` replays), so over-executing
+the awake set is stat-invisible; only the ``sim.ticks_*`` META split
+moves, and its per-domain sums are preserved. Sleepers are woken by
+the same hooks as ever and join the burst in ground order at their
+next domain slot; the engine's push-less accept/idle edges are
+re-checked after each executed engine tick when a sleeping dependent
+exists. One sentinel member is probed per slot; when it goes quiet a
+single sweep either promotes the next busy member to sentinel or ends
+the burst, handing the gap back to the event machinery. On exit every
+member — and every woken-but-not-joined sleeper — re-enters the ready
+set, because the bound selection knows nothing of in-flight wakeups.
+
 Work-stealing programs (``pure_peek=False`` sources) couple every core
-through the shared task queues, so the event core runs them fully
-dense: every unit is due every tick and nothing is ever skipped.
+through the shared task queues. Their safety comes from the probes, not
+from a special mode: a core whose worker source is not done vetoes
+skipping whenever its front end could peek (and thereby claim a task or
+arrive at a barrier) on the next tick, so every claim happens at
+exactly the dense loop's instant; a worker blocked on its *own* timers
+(a full ROB behind a miss, a fetch gap, a drained source) sleeps like
+any other unit.
 """
 
 from __future__ import annotations
@@ -70,6 +96,14 @@ _INF = 1 << 60
 WATCHDOG_PS = 20_000_000
 
 _BIG, _LITTLE, _MEM = 0, 1, 2
+
+#: consecutive near-adjacent productive iterations before the event
+#: loop drops into the dense-burst regime (tick every awake unit, skip
+#: the ready-set machinery), and the instant gap (in min-period slots)
+#: two productive iterations may be apart and still count toward that
+#: streak
+_BURST_AFTER = 12
+_BURST_GAP_SLOTS = 1
 
 #: watchdog / horizon diagnostics go through the structured logger —
 #: shared by both run loops so the text channel matches the shared
@@ -197,7 +231,7 @@ class _Unit:
 
     __slots__ = ("uid", "name", "domain", "owner", "tick", "probe", "skip",
                  "exec_at", "charged", "dirty", "pending", "wakes",
-                 "streak", "no_probe", "executed")
+                 "streak", "no_probe", "executed", "burst")
 
     def __init__(self, uid, name, domain, owner, tick, probe, skip):
         self.uid = uid
@@ -215,6 +249,7 @@ class _Unit:
         self.streak = 0  # consecutive due-next-tick probe results
         self.no_probe = 0  # remaining assume-due re-arms (probe backoff)
         self.executed = 0  # executed-tick count (META, for diagnostics)
+        self.burst = False  # member of the current dense burst
 
 
 def _build_units(system):
@@ -332,6 +367,15 @@ def run_event_loop(system, max_ns):
     b1 = bunits[0] if len(bunits) == 1 else None
     l1u = lunits[0] if len(lunits) == 1 else None
     m1 = munits[0] if len(munits) == 1 else None
+    # small multi-unit domains (every preset: ≤ 5 littles, ≤ 2 big-domain
+    # units) skip the heap and the armed[] table too: re-arms just lower
+    # the cached domain minimum, and the hm == T re-peek recomputes it
+    # with a linear scan — cheaper than heappush churn for a handful of
+    # units, and a stale minimum still costs at most one closed-as-skipped
+    # iteration (the cached minima are lower bounds by contract)
+    scan0 = b1 is None and len(bunits) <= 6
+    scan1 = l1u is None and len(lunits) <= 6
+    scan2 = m1 is None and len(munits) <= 6
     # one heap per domain so an idle domain's whole service block can be
     # skipped with a handful of integer checks; armed times per unit
     heap0, heap1, heap2 = [], [], []
@@ -339,9 +383,6 @@ def run_event_loop(system, max_ns):
     # every serviced unit starts ready: the dense loop ticks them at t=0
     rn0, rn1, rn2 = len(bunits), len(lunits), len(munits)
     dirty_n = [0, 0, 0]
-    # work-stealing sources have impure peeks and couple every core
-    # through the shared task queues: run fully dense, never skip
-    dense = system.runtime is not None
 
     tb = tm = 0  # per-domain clocks: next unserviced grid tick
     # a little domain with no *dynamic* units never executes: park its
@@ -359,6 +400,17 @@ def run_event_loop(system, max_ns):
     # cached per-domain heap minima: lower bounds on the true minima,
     # re-peeked lazily after an iteration consumes (or disproves) them
     hm0 = hm1 = hm2 = _INF
+    # last engine accept bound seen by the static wakeup edge; the
+    # sentinel forces the first executed engine tick to fire it
+    last_na = -1
+    last_idle = None  # engine idle() state, tracked only inside a burst
+    # dense-burst detector: count consecutive iterations landing at
+    # most a micro-gap apart (a chime cadence is dense for this
+    # purpose: its gaps are cheaper to tick through than to schedule)
+    minp = pb if pb <= pl and pb <= pm else (pl if pl <= pm else pm)
+    gapw = _BURST_GAP_SLOTS * minp
+    run_ct = 0
+    prevT = -1
     executed = [0, 0, 0]
     max_ps = max_ns * 1000
     sampler = system.obs.sampler if system.obs is not None else None
@@ -420,9 +472,8 @@ def run_event_loop(system, max_ns):
 
         return counting_hook
 
-    if not dense:
-        for u in units:
-            u.owner._ev_notify = make_hook(u, wk_edges)
+    for u in units:
+        u.owner._ev_notify = make_hook(u, wk_edges)
 
     def settle_meta(t_exit):
         # every domain-grid slot in [0, t_exit] is serviced exactly once
@@ -512,7 +563,7 @@ def run_event_loop(system, max_ns):
                     ex = False
                     for u in bunits:
                         ea = u.exec_at
-                        if u.dirty and ea > T and not dense:
+                        if u.dirty and ea > T:
                             # woken earlier this iteration: re-probe now,
                             # exactly like dense order would see it
                             if not u.probe(T):
@@ -529,17 +580,28 @@ def run_event_loop(system, max_ns):
                             if not u.pending:
                                 u.pending = True
                                 pend.append(u)
-                            for w in u.wakes:
-                                # ready dependents (exec_at == 0) re-arm
-                                # through their own pend entry every tick
-                                # — only sleeping/timed ones need waking
-                                if w.exec_at:
-                                    if not w.dirty:
-                                        w.dirty = True
-                                        dirty_n[0] += 1
-                                    if not w.pending:
-                                        w.pending = True
-                                        pend.append(w)
+                            if u.wakes:
+                                # the engine's only push-less effect on a
+                                # big core's probe is the accept bound
+                                # (idle-drain wakeups ride the INF
+                                # transition in the re-arm pass), so the
+                                # static edge fires only when that bound
+                                # actually moved — not on every tick
+                                na = u.owner.next_accept_ps(T)
+                                if na != last_na:
+                                    last_na = na
+                                    for w in u.wakes:
+                                        # ready dependents re-arm through
+                                        # their own pend entry every tick
+                                        # — only sleeping/timed ones need
+                                        # waking
+                                        if w.exec_at:
+                                            if not w.dirty:
+                                                w.dirty = True
+                                                dirty_n[0] += 1
+                                            if not w.pending:
+                                                w.pending = True
+                                                pend.append(w)
                     if ex:
                         executed[0] += 1
                         any_exec = True
@@ -553,7 +615,7 @@ def run_event_loop(system, max_ns):
                     ex = False
                     for u in lunits:
                         ea = u.exec_at
-                        if u.dirty and ea > T and not dense:
+                        if u.dirty and ea > T:
                             if not u.probe(T):
                                 ea = u.exec_at = T
                         if ea <= T:
@@ -568,14 +630,18 @@ def run_event_loop(system, max_ns):
                             if not u.pending:
                                 u.pending = True
                                 pend.append(u)
-                            for w in u.wakes:
-                                if w.exec_at:  # see the big-domain note
-                                    if not w.dirty:
-                                        w.dirty = True
-                                        dirty_n[0] += 1
-                                    if not w.pending:
-                                        w.pending = True
-                                        pend.append(w)
+                            if u.wakes:  # see the big-domain note
+                                na = u.owner.next_accept_ps(T)
+                                if na != last_na:
+                                    last_na = na
+                                    for w in u.wakes:
+                                        if w.exec_at:
+                                            if not w.dirty:
+                                                w.dirty = True
+                                                dirty_n[0] += 1
+                                            if not w.pending:
+                                                w.pending = True
+                                                pend.append(w)
                     if ex:
                         executed[1] += 1
                         any_exec = True
@@ -586,7 +652,7 @@ def run_event_loop(system, max_ns):
                     ex = False
                     for u in munits:
                         ea = u.exec_at
-                        if u.dirty and ea > T and not dense:
+                        if u.dirty and ea > T:
                             if not u.probe(T):
                                 ea = u.exec_at = T
                         if ea <= T:
@@ -621,78 +687,88 @@ def run_event_loop(system, max_ns):
                 for u in pend:
                     u.pending = False
                     u.dirty = False
-                    if u.no_probe and not dense:
+                    if u.no_probe:
                         u.no_probe -= 1
                         continue  # stays ready (exec_at == 0 holds)
                     d = u.domain
                     uid = u.uid
                     was_ready = u.exec_at == 0
-                    if dense:
+                    now = tb if d == 0 else (tl if d == 1 else tm)
+                    b = u.probe(now)
+                    if b <= now:
+                        # due next tick (0, or a stale-past bound)
+                        s = u.streak + 1
+                        u.streak = s
+                        if s >= 4:
+                            n = s >> 2
+                            u.no_probe = n if n < 8 else 8
                         ready = True
                     else:
-                        now = tb if d == 0 else (tl if d == 1 else tm)
-                        b = u.probe(now)
-                        if b <= now:
-                            # due next tick (0, or a stale-past bound)
-                            s = u.streak + 1
-                            u.streak = s
-                            if s >= 4:
-                                n = s >> 2
-                                u.no_probe = n if n < 8 else 8
-                            ready = True
+                        u.streak = 0
+                        ready = False
+                        if b >= _INF:
+                            u.exec_at = _INF  # asleep until woken
+                            if u is b1:
+                                hm0 = _INF
+                            elif u is l1u:
+                                hm1 = _INF
+                            elif u is m1:
+                                hm2 = _INF
+                            elif armed[uid] is not None:
+                                armed[uid] = None
+                            # a unit with static wake edges going
+                            # quiescent is itself a wakeup: the input
+                            # that re-armed it (e.g. the last VMU
+                            # fill, delivered by a mem tick) may have
+                            # established the very condition — engine
+                            # idle, accept space — its dependents
+                            # sleep on, without any engine tick ever
+                            # firing the execution-time edge
+                            for w in u.wakes:
+                                if w.exec_at:
+                                    if not w.dirty:
+                                        w.dirty = True
+                                        dirty_n[w.domain] += 1
+                                    if not w.pending:
+                                        w.pending = True
+                                        pend.append(w)
                         else:
-                            u.streak = 0
-                            ready = False
-                            if b >= _INF:
-                                u.exec_at = _INF  # asleep until woken
-                                if u is b1:
-                                    hm0 = _INF
-                                elif u is l1u:
-                                    hm1 = _INF
-                                elif u is m1:
-                                    hm2 = _INF
-                                elif armed[uid] is not None:
-                                    armed[uid] = None
-                                # a unit with static wake edges going
-                                # quiescent is itself a wakeup: the input
-                                # that re-armed it (e.g. the last VMU
-                                # fill, delivered by a mem tick) may have
-                                # established the very condition — engine
-                                # idle, accept space — its dependents
-                                # sleep on, without any engine tick ever
-                                # firing the execution-time edge
-                                for w in u.wakes:
-                                    if w.exec_at:
-                                        if not w.dirty:
-                                            w.dirty = True
-                                            dirty_n[w.domain] += 1
-                                        if not w.pending:
-                                            w.pending = True
-                                            pend.append(w)
-                            else:
-                                p = periods[d]
-                                t = now + (b - now + p - 1) // p * p
-                                u.exec_at = t
-                                if u is b1:
-                                    hm0 = t  # exact: the only big unit
-                                elif u is l1u:
-                                    hm1 = t
-                                elif u is m1:
-                                    hm2 = t
+                            p = periods[d]
+                            t = now + (b - now + p - 1) // p * p
+                            u.exec_at = t
+                            if u is b1:
+                                hm0 = t  # exact: the only big unit
+                            elif u is l1u:
+                                hm1 = t
+                            elif u is m1:
+                                hm2 = t
+                            elif d == 0:
+                                if scan0:
+                                    if t < hm0:
+                                        hm0 = t
                                 elif armed[uid] != t:
                                     armed[uid] = t
-                                    if d == 0:
-                                        heappush(heap0, (t, uid))
-                                        if t < hm0:
-                                            hm0 = t
-                                    elif d == 1:
-                                        heappush(heap1, (t, uid))
-                                        if t < hm1:
-                                            hm1 = t
-                                    else:
-                                        heappush(heap2, (t, uid))
-                                        if t < hm2:
-                                            hm2 = t
+                                    heappush(heap0, (t, uid))
+                                    if t < hm0:
+                                        hm0 = t
+                            elif d == 1:
+                                if scan1:
+                                    if t < hm1:
+                                        hm1 = t
+                                elif armed[uid] != t:
+                                    armed[uid] = t
+                                    heappush(heap1, (t, uid))
+                                    if t < hm1:
+                                        hm1 = t
+                            else:
+                                if scan2:
+                                    if t < hm2:
+                                        hm2 = t
+                                elif armed[uid] != t:
+                                    armed[uid] = t
+                                    heappush(heap2, (t, uid))
+                                    if t < hm2:
+                                        hm2 = t
                     if ready:
                         u.exec_at = 0
                         if u is b1:
@@ -727,6 +803,12 @@ def run_event_loop(system, max_ns):
                 if b1 is not None:
                     ea = b1.exec_at
                     hm0 = ea if 0 < ea < _INF else _INF
+                elif scan0:
+                    hm0 = _INF
+                    for u in bunits:
+                        ea = u.exec_at
+                        if 0 < ea < hm0:
+                            hm0 = ea
                 else:
                     while heap0:
                         t0, uid0 = heap0[0]
@@ -738,6 +820,12 @@ def run_event_loop(system, max_ns):
                 if l1u is not None:
                     ea = l1u.exec_at
                     hm1 = ea if 0 < ea < _INF else _INF
+                elif scan1:
+                    hm1 = _INF
+                    for u in lunits:
+                        ea = u.exec_at
+                        if 0 < ea < hm1:
+                            hm1 = ea
                 else:
                     while heap1:
                         t0, uid0 = heap1[0]
@@ -749,6 +837,12 @@ def run_event_loop(system, max_ns):
                 if m1 is not None:
                     ea = m1.exec_at
                     hm2 = ea if 0 < ea < _INF else _INF
+                elif scan2:
+                    hm2 = _INF
+                    for u in munits:
+                        ea = u.exec_at
+                        if 0 < ea < hm2:
+                            hm2 = ea
                 else:
                     while heap2:
                         t0, uid0 = heap2[0]
@@ -770,42 +864,306 @@ def run_event_loop(system, max_ns):
                     if cp is not None:
                         cp.finalize(T + max(pb, pl, pm))
                     return system._result(T + max(pb, pl, pm))
-                continue
-            tlx = tl if tl != _INF else (T // pl + 1) * pl
-            if T >= next_sample:
-                _settle_all(allunits, tb, tlx, tm, periods)
-                sampler.sample(T)
-                next_sample = T + sampler.interval_ps
-            if any_exec and done():
-                _settle_all(allunits, tb, tlx, tm, periods)
-                settle_meta(T)
-                if cp is not None:
-                    cp.finalize(T + max(pb, pl, pm))
-                return system._result(T + max(pb, pl, pm))
-            if T >= wd_target:
-                wd_target = T + WATCHDOG_PS
-                stalled, instrs = progress_check(system, T, last_instrs,
-                                                 "event")
-                if stalled:
+            else:
+                tlx = tl if tl != _INF else (T // pl + 1) * pl
+                if T >= next_sample:
+                    _settle_all(allunits, tb, tlx, tm, periods)
+                    sampler.sample(T)
+                    next_sample = T + sampler.interval_ps
+                if any_exec and done():
                     _settle_all(allunits, tb, tlx, tm, periods)
                     settle_meta(T)
                     if cp is not None:
-                        cp.finalize(T, stalled=True)
-                    raise watchdog_deadlock(system, T, "event")
-                last_instrs = instrs
-            if T >= max_ps:
-                _settle_all(allunits, tb, tlx, tm, periods)
-                settle_meta(T)
-                if cp is not None:
-                    cp.finalize(T)
-                raise horizon_deadlock(system, T, max_ns, "event")
-            bmin = next_sample if next_sample < wd_target else wd_target
-            if max_ps < bmin:
-                bmin = max_ps
-    finally:
-        if not dense:
+                        cp.finalize(T + max(pb, pl, pm))
+                    return system._result(T + max(pb, pl, pm))
+                if T >= wd_target:
+                    wd_target = T + WATCHDOG_PS
+                    stalled, instrs = progress_check(system, T, last_instrs,
+                                                     "event")
+                    if stalled:
+                        _settle_all(allunits, tb, tlx, tm, periods)
+                        settle_meta(T)
+                        if cp is not None:
+                            cp.finalize(T, stalled=True)
+                        raise watchdog_deadlock(system, T, "event")
+                    last_instrs = instrs
+                if T >= max_ps:
+                    _settle_all(allunits, tb, tlx, tm, periods)
+                    settle_meta(T)
+                    if cp is not None:
+                        cp.finalize(T)
+                    raise horizon_deadlock(system, T, max_ns, "event")
+                bmin = next_sample if next_sample < wd_target else wd_target
+                if max_ps < bmin:
+                    bmin = max_ps
+
+            # ---- 5. dense-burst detector. A long run of iterations on
+            # adjacent union-grid instants means the ready-set machinery
+            # above is pure overhead: nothing is being skipped, so every
+            # T-select, re-arm probe and re-peek is paid for a slot the
+            # dense loop would have reached with three adds. Drop into a
+            # dense inner loop over just the *awake* units — sleeping
+            # (_INF) units stay parked on their deferred-charge windows,
+            # so a drained big core is still never ticked through a
+            # vector region — until a probe sweep proves a skippable gap
+            # or a boundary/done intervenes.
+            if not any_exec or T - prevT > gapw:
+                run_ct = 0
+                prevT = T
+                continue
+            prevT = T
+            run_ct += 1
+            if run_ct < _BURST_AFTER:
+                continue
+
+            # ---------------- dense burst ----------------
+            # Correctness rests on the probe contract alone: ticking an
+            # awake unit before its bound does nothing but the per-cycle
+            # constants (exactly what skip_ticks replays), so densely
+            # over-executing the awake set is stat-invisible. Sleepers
+            # are woken by the same hooks as ever and join the burst in
+            # ground order at their next domain slot; the engine's
+            # push-less edges (accept bound, idle-drain) are re-checked
+            # after each executed engine tick since no re-arm probe runs
+            # to fire the _INF transition here.
+            run_ct = 0
+            prevT = -1
+            last_idle = None
+            nb_b = nl_b = nm_b = 0
             for u in units:
-                u.owner._ev_notify = None
+                if u.exec_at < _INF:
+                    u.burst = True
+                    d = u.domain
+                    if d == 0:
+                        nb_b += 1
+                    elif d == 1:
+                        nl_b += 1
+                    else:
+                        nm_b += 1
+            sent = None  # sentinel: the leading busy member, probed per slot
+            for u in units:
+                if u.burst:
+                    sent = u
+                    break
+            while sent is not None:
+                T = _INF
+                if nb_b or dirty_n[0]:
+                    T = tb
+                if (nl_b or dirty_n[1]) and tl < T:
+                    T = tl
+                if (nm_b or dirty_n[2]) and tm < T:
+                    T = tm
+                if T >= bmin:
+                    break  # boundary (or empty burst): hand back
+                if tb < T:
+                    tb += (T - tb + pb - 1) // pb * pb
+                if tl < T:
+                    tl += (T - tl + pl - 1) // pl * pl
+                if tm < T:
+                    tm += (T - tm + pm - 1) // pm * pm
+                if big1 is not None:
+                    big1._now_hint = T if tb == T else tb - pb
+                elif bigs:
+                    nh = T if tb == T else tb - pb
+                    for c in bigs:
+                        c._now_hint = nh
+                hctx[0] = T
+                hctx[2] = tb
+                hctx[3] = tl
+                hctx[4] = tm
+                ex_any = False
+                if tb == T:
+                    ex = False
+                    for u in bunits:
+                        if not u.burst:
+                            if u.dirty:
+                                # woken mid-burst: join (in ground
+                                # order, at this very slot) unless the
+                                # probe says stay asleep
+                                u.dirty = False
+                                dirty_n[0] -= 1
+                                if u.probe(T) < _INF:
+                                    u.burst = True
+                                    nb_b += 1
+                                else:
+                                    continue
+                            else:
+                                continue
+                        c = u.charged
+                        if c < T:
+                            u.skip((T - c) // pb, c)
+                        u.charged = T + pb
+                        hctx[1] = u.uid
+                        u.tick(T)
+                        u.executed += 1
+                        ex = True
+                        if u.wakes:
+                            # the edge only matters to a sleeping
+                            # dependent; with every one awake (or
+                            # already woken) skip the accept/idle
+                            # probes and invalidate the cached edge
+                            need = False
+                            for w in u.wakes:
+                                if not w.burst and not w.dirty:
+                                    need = True
+                                    break
+                            if not need:
+                                last_na = -2
+                            else:
+                                na = u.owner.next_accept_ps(T)
+                                idl = u.owner.idle()
+                                if na != last_na or idl is not last_idle:
+                                    last_na = na
+                                    last_idle = idl
+                                    for w in u.wakes:
+                                        if not w.burst and not w.dirty:
+                                            w.dirty = True
+                                            dirty_n[0] += 1
+                                            if not w.pending:
+                                                w.pending = True
+                                                pend.append(w)
+                    if ex:
+                        executed[0] += 1
+                        ex_any = True
+                    tb += pb
+                    hctx[2] = tb
+                if tl == T:
+                    ex = False
+                    for u in lunits:
+                        if not u.burst:
+                            if u.dirty:
+                                u.dirty = False
+                                dirty_n[1] -= 1
+                                if u.probe(T) < _INF:
+                                    u.burst = True
+                                    nl_b += 1
+                                else:
+                                    continue
+                            else:
+                                continue
+                        c = u.charged
+                        if c < T:
+                            u.skip((T - c) // pl, c)
+                        u.charged = T + pl
+                        hctx[1] = u.uid
+                        u.tick(T)
+                        u.executed += 1
+                        ex = True
+                        if u.wakes:
+                            # the edge only matters to a sleeping
+                            # dependent; with every one awake (or
+                            # already woken) skip the accept/idle
+                            # probes and invalidate the cached edge
+                            need = False
+                            for w in u.wakes:
+                                if not w.burst and not w.dirty:
+                                    need = True
+                                    break
+                            if not need:
+                                last_na = -2
+                            else:
+                                na = u.owner.next_accept_ps(T)
+                                idl = u.owner.idle()
+                                if na != last_na or idl is not last_idle:
+                                    last_na = na
+                                    last_idle = idl
+                                    for w in u.wakes:
+                                        if not w.burst and not w.dirty:
+                                            w.dirty = True
+                                            dirty_n[0] += 1
+                                            if not w.pending:
+                                                w.pending = True
+                                                pend.append(w)
+                    if ex:
+                        executed[1] += 1
+                        ex_any = True
+                    tl += pl
+                    hctx[3] = tl
+                if tm == T:
+                    ex = False
+                    for u in munits:
+                        if not u.burst:
+                            if u.dirty:
+                                u.dirty = False
+                                dirty_n[2] -= 1
+                                if u.probe(T) < _INF:
+                                    u.burst = True
+                                    nm_b += 1
+                                else:
+                                    continue
+                            else:
+                                continue
+                        c = u.charged
+                        if c < T:
+                            u.skip((T - c) // pm, c)
+                        u.charged = T + pm
+                        hctx[1] = u.uid
+                        u.tick(T)
+                        u.executed += 1
+                        ex = True
+                    if ex:
+                        executed[2] += 1
+                        ex_any = True
+                    tm += pm
+                    hctx[4] = tm
+                hctx[1] = -1
+                if ex_any and done():
+                    tlx = tl if tl != _INF else (T // pl + 1) * pl
+                    _settle_all(allunits, tb, tlx, tm, periods)
+                    settle_meta(T)
+                    if cp is not None:
+                        cp.finalize(T + max(pb, pl, pm))
+                    return system._result(T + max(pb, pl, pm))
+                # sentinel exit test: while the sentinel is due next
+                # slot the burst is provably productive and no other
+                # probe runs. The moment it goes quiet, one sweep over
+                # the members promotes the next busy one to sentinel;
+                # if none is due the burst ends and the event machinery
+                # takes over — re-arming everyone, skipping the gap.
+                nw = tb if sent.domain == 0 else (
+                    tl if sent.domain == 1 else tm)
+                if sent.probe(nw) > nw:
+                    busy = None
+                    for u in units:
+                        if not u.burst:
+                            continue
+                        nw = tb if u.domain == 0 else (
+                            tl if u.domain == 1 else tm)
+                        if u.probe(nw) <= nw:
+                            busy = u
+                            break
+                    if busy is None:
+                        break
+                    sent = busy
+
+            # burst exit: every member — and every sleeper woken but
+            # not yet joined — rejoins the ready set; the next
+            # iteration's re-arm pass rebuilds the real bounds from
+            # fresh probes.
+            rn0 = rn1 = rn2 = 0
+            for u in units:
+                if u.burst or u.dirty:
+                    # dirty sleepers re-ready too: the T-selection knows
+                    # nothing of dirty marks, so leaving one asleep here
+                    # would defer its wakeup to the next boundary instant
+                    u.burst = False
+                    u.exec_at = 0
+                    u.dirty = False
+                    if not u.pending:
+                        u.pending = True
+                        pend.append(u)
+                    d = u.domain
+                    if d == 0:
+                        rn0 += 1
+                    elif d == 1:
+                        rn1 += 1
+                    else:
+                        rn2 += 1
+            dirty_n[0] = dirty_n[1] = dirty_n[2] = 0
+            hm0 = hm1 = hm2 = _INF
+    finally:
+        for u in units:
+            u.owner._ev_notify = None
         if hs is not None:
             hs.uninstall()
             hs.finalize(time.perf_counter() - system._wall_t0,

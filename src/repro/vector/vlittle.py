@@ -65,6 +65,11 @@ FENCE_MARK = 8
 UOP_NAMES = ("exec", "ldwb", "stdata", "idxaddr", "vxread", "vxwrite",
              "vxreduce", "movexs", "fence")
 
+#: sentinel returned by ``VLittleEngine._batch_tick`` when the lanes can
+#: no longer act in lockstep: the caller materializes the per-lane state
+#: (``_fallback``) and re-runs this very tick on the scalar path
+_DIVERGE = "diverge"
+
 _CLS_FU = {
     VClass.INT_SIMPLE: FUClass.ALU,
     VClass.INT_COMPLEX: FUClass.DIV,
@@ -91,34 +96,60 @@ class Uop:
 
 
 class Lane:
-    """One little core's back end operating as a vector lane."""
+    """One little core's back end operating as a vector lane.
 
-    __slots__ = ("engine", "idx", "fu", "latch", "avail", "ready", "arrived",
-                 "busy_until", "breakdown", "uops_issued")
+    The per-tick scalar state (``avail`` / ``busy_until`` / ``uops_issued``
+    and the batch-convergence watermark) lives in engine-owned parallel
+    arrays indexed by ``idx`` so the batched executor can evaluate the
+    whole lane array in one step; the properties below keep the existing
+    per-lane API (tests, sampler, progress signature) working unchanged.
+    """
+
+    __slots__ = ("engine", "idx", "fu", "latch", "ready", "arrived",
+                 "breakdown")
 
     def __init__(self, engine, idx, fu):
         self.engine = engine
         self.idx = idx
         self.fu = fu
         self.latch = None
-        self.avail = 0
         self.ready = {}  # (seq, chime) -> cycle the lane's slice is ready
         self.arrived = {}  # (seq, chime) -> [elements arrived, last arrival]
-        self.busy_until = 0
         self.breakdown = Breakdown()
-        self.uops_issued = 0
+
+    @property
+    def avail(self):
+        return self.engine._l_avail[self.idx]
+
+    @avail.setter
+    def avail(self, v):
+        self.engine._l_avail[self.idx] = v
+
+    @property
+    def busy_until(self):
+        return self.engine._l_busy[self.idx]
+
+    @busy_until.setter
+    def busy_until(self, v):
+        self.engine._l_busy[self.idx] = v
+
+    @property
+    def uops_issued(self):
+        return self.engine._l_uops[self.idx]
 
     # ------------------------------------------------------------------ tick
 
     def tick(self, now):
         """Returns 'busy', 'empty', or a Stall category for this cycle."""
-        if self.latch is None or self.avail > now:
+        eng = self.engine
+        if self.latch is None or eng._l_avail[self.idx] > now:
             return "empty"
         uop = self.latch
         status = self._try_issue(uop, now)
         if status is None:
             self.latch = None
-            self.uops_issued += 1
+            eng._n_latched -= 1
+            eng._l_uops[self.idx] += 1
             if uop.pv is not None:
                 uop.pv_left -= 1
                 if uop.pv_left <= 0:
@@ -203,7 +234,10 @@ class Lane:
                 return Stall.STRUCT
             P = eng.period
             self.busy_until = now + occ * P
-            self.ready[(ins.seq, uop.chime)] = now + (occ - 1) * P + lat
+            r = now + (occ - 1) * P + lat  # lat >= P, so r >= busy_until
+            self.ready[(ins.seq, uop.chime)] = r
+            if r > eng._l_hot[self.idx]:
+                eng._l_hot[self.idx] = r
             return None
         if kind == LDWB:
             expected = eng.elem_count(ins.seq, uop.chime, self.idx)
@@ -213,7 +247,10 @@ class Lane:
                     return Stall.RAW_MEM
                 eng.vmu.vlu.consume(self.idx, expected)
             extra = 1 if VOP_CLASS[ins.op] == VClass.MEM_INDEX else 0
-            self.ready[(ins.seq, uop.chime)] = now + (1 + extra) * eng.period
+            r = now + (1 + extra) * eng.period
+            self.ready[(ins.seq, uop.chime)] = r
+            if r > eng._l_hot[self.idx]:
+                eng._l_hot[self.idx] = r
             return None
         if kind == STDATA:
             stall = self._deps_ready(ins, uop.chime, now)
@@ -222,7 +259,10 @@ class Lane:
             if self.busy_until > now:
                 return Stall.STRUCT
             count = eng.elem_count(ins.seq, uop.chime, self.idx)
-            self.busy_until = now + eng.period
+            r = now + eng.period
+            self.busy_until = r
+            if r > eng._l_hot[self.idx]:
+                eng._l_hot[self.idx] = r
             eng.vmu.vsu.credit(ins.seq, count, now + 2 * eng.period)
             if VOP_CLASS[ins.op] == VClass.MEM_INDEX:
                 eng.vmu.credit_indexed(ins.seq, count)
@@ -243,14 +283,20 @@ class Lane:
         if kind == VXWRITE:
             if not eng.vxu.result_ready(ins.seq, now):
                 return Stall.XELEM
-            self.ready[(ins.seq, uop.chime)] = now + eng.period
+            r = now + eng.period
+            self.ready[(ins.seq, uop.chime)] = r
+            if r > eng._l_hot[self.idx]:
+                eng._l_hot[self.idx] = r
             eng.vxwrite_done(ins.seq)
             return None
         if kind == VXREDUCE:
             if not eng.vxu.result_ready(ins.seq, now):
                 return Stall.XELEM
             lat = DEFAULT_LATENCY[FUClass.FPU] * eng.period
-            self.ready[(ins.seq, 0)] = now + lat
+            r = now + lat
+            self.ready[(ins.seq, 0)] = r
+            if r > eng._l_hot[self.idx]:
+                eng._l_hot[self.idx] = r
             eng.cross_done(ins.seq, now + lat)
             return None
         if kind == MOVEXS:
@@ -271,6 +317,9 @@ class VLittleEngine:
         "vmu", "vxu", "_uopq", "_dataq_used", "_ready_at", "_seq_kind",
         "_elem_expected", "_cross", "_fence_buffer", "_fences_pending",
         "_dataq_release", "instrs", "mode_switches", "_bcast_issued",
+        "batched", "_batch_uop", "_batch_avail", "_diverged", "_n_latched",
+        "_l_avail", "_l_busy", "_l_hot", "_l_uops", "_bd_batch",
+        "batch_fallbacks", "_obs_fallbacks",
         "obs", "_pv", "_lane_obs", "_obs_uopq", "_obs_dataq",
         "_obs_last_uopq", "_vxu_obs", "_ev_notify",
     )
@@ -314,6 +363,23 @@ class VLittleEngine:
             # slice sustains far more misses in flight than a scalar core
             c.l1d.n_mshrs = max(c.l1d.n_mshrs, 32)
             l1ds.append(c.l1d)
+        # batched lane execution: per-lane scalar state flattened into
+        # engine-owned parallel arrays (indexed by lane), evaluated in one
+        # step while the lanes run in lockstep. ``batched`` is a run-time
+        # knob only (the forced-scalar differential arm clears it) — never
+        # part of SoCConfig or cache keys, and by contract stat-invisible.
+        self._l_avail = [0] * self.lanes_count  # broadcast-latch ready time
+        self._l_busy = [0] * self.lanes_count  # EXEC/STDATA structural busy
+        self._l_hot = [0] * self.lanes_count  # latest future ps ever written
+        self._l_uops = [0] * self.lanes_count  # issued µop count
+        self.batched = True
+        self._batch_uop = None  # broadcast µop held by the whole lane array
+        self._batch_avail = 0  # its pipelined-bus arrival (scalar: avail)
+        self._diverged = False  # lanes left lockstep; per-lane state is live
+        self._n_latched = 0  # lanes holding a scalar (per-lane) latch
+        self._bd_batch = Breakdown()  # lane-cycle charges from batch steps
+        self.batch_fallbacks = 0  # times the executor left batch mode
+        self._obs_fallbacks = None
         self.lanes = [Lane(self, i, c.fu) for i, c in enumerate(self.cores)]
         self.vmu = VectorMemoryUnit(self, l1ds, self.bank_map,
                                     loadq_lines=loadq_lines,
@@ -352,6 +418,10 @@ class VLittleEngine:
         self._obs_uopq = obs.metrics.histogram(
             "vcu.uopq_occupancy", (0, 8, 16, 32, 48, 64, 96))
         self._obs_dataq = obs.metrics.gauge("vcu.dataq_used")
+        # divergence-fallback entries (META in repro.obs.diff: the forced-
+        # scalar differential arm never enters batch mode, so the count is
+        # scheduler-shaped bookkeeping, not a simulated-machine fact)
+        self._obs_fallbacks = obs.metrics.counter("vcu.batch_fallbacks")
         self._obs_last_uopq = -1
         self._vxu_obs = self.vxu.attach_obs(obs)
         self.vmu.attach_obs(obs)
@@ -507,6 +577,18 @@ class VLittleEngine:
         if at > a[1]:
             a[1] = at
 
+    def deliver_load_batch(self, seq, deliveries, at):
+        """Batched VLU delivery: one call per returned line, covering every
+        ``(chime, lane)`` element group it carries, instead of one
+        :meth:`deliver_load` call per group. ``arrived`` stays per-lane —
+        straggler fills are exactly what diverges the batched executor."""
+        lanes = self.lanes
+        for (chime, lane), count in deliveries:
+            a = lanes[lane].arrived.setdefault((seq, chime), [0, 0])
+            a[0] += count
+            if at > a[1]:
+                a[1] = at
+
     def vxwrite_done(self, seq):
         c = self._cross.get(seq)
         if c is None:
@@ -532,7 +614,8 @@ class VLittleEngine:
     def idle(self):
         return (
             not self._uopq
-            and all(l.latch is None for l in self.lanes)
+            and self._batch_uop is None
+            and self._n_latched == 0
             and self.vmu.idle()
             and not self.vxu.busy()
         )
@@ -550,8 +633,11 @@ class VLittleEngine:
             "dataq_used": self._dataq_used,
             "dataq_depth": self.dataq_depth,
             "fences_pending": self._fences_pending,
-            "busy_lanes": sum(1 for l in self.lanes if l.latch is not None),
+            "busy_lanes": (self.lanes_count if self._batch_uop is not None
+                           else self._n_latched),
             "lanes": self.lanes_count,
+            "batch_mode": self._batch_uop is not None,
+            "batch_fallbacks": self.batch_fallbacks,
             "vxu_busy": self.vxu.busy(),
             "mode": "scalar" if ready_at is None else "vector",
             "mode_ready_ps": (ready_at if ready_at is not None
@@ -571,7 +657,8 @@ class VLittleEngine:
             return Stall.MISC, _INF
         uop = self._uopq[0]
         if uop.kind == FENCE_MARK:
-            if self.vmu.idle() and all(l.latch is None for l in self.lanes):
+            if (self.vmu.idle() and self._batch_uop is None
+                    and self._n_latched == 0):
                 return None, 0  # fence drains next tick
             return Stall.MISC, _INF
         if uop.kind in (VXREAD, VXWRITE, VXREDUCE):
@@ -579,11 +666,222 @@ class VLittleEngine:
                 return Stall.XELEM, _INF  # freed by a lane's executed µop
             if uop.kind == VXREAD and not self.vxu.busy():
                 return None, 0  # vxu.start mutates
-        targets = (self.lanes if uop.lane_only is None
-                   else [self.lanes[uop.lane_only]])
-        if any(l.latch is not None for l in targets):
-            return Stall.SIMD, _INF  # target lanes unblock on executed ticks
+        if self._batch_uop is not None:
+            return Stall.SIMD, _INF  # the whole lane array is occupied
+        if uop.lane_only is None:
+            if self._n_latched:
+                return Stall.SIMD, _INF  # lanes unblock on executed ticks
+            return None, 0
+        if self.lanes[uop.lane_only].latch is not None:
+            return Stall.SIMD, _INF
         return None, 0
+
+    # ------------------------------------------------------- batch executor
+
+    def _fallback(self, now):
+        """Leave batch mode: materialize the leader lane's lockstep state
+        into every follower (their conceptual state is identical while
+        converged), then re-latch any pending batch µop so the per-lane
+        path executes it — this very tick — exactly as the scalar
+        executor would have."""
+        self.batch_fallbacks += 1
+        if self._obs_fallbacks is not None:
+            self._obs_fallbacks.add()
+        self._diverged = True
+        lanes = self.lanes
+        lead = lanes[0]
+        busy = self._l_busy
+        hot = self._l_hot
+        b0 = busy[0]
+        h0 = hot[0]
+        for i in range(1, self.lanes_count):
+            lane = lanes[i]
+            lane.ready = dict(lead.ready)
+            lane.fu.sync_from(lead.fu)
+            busy[i] = b0
+            hot[i] = h0
+        uop = self._batch_uop
+        if uop is not None:
+            self._batch_uop = None
+            avail = self._l_avail
+            av = self._batch_avail
+            for i, lane in enumerate(lanes):
+                lane.latch = uop
+                avail[i] = av
+            self._n_latched = self.lanes_count
+
+    def _finish_batch(self, uop, now):
+        """Bookkeeping shared by every lockstep µop issue."""
+        self._batch_uop = None
+        uops = self._l_uops
+        for i in range(self.lanes_count):
+            uops[i] += 1
+        if uop.pv is not None:
+            pv = self._pv
+            pv.stage(uop.pv, "Lx", now)
+            pv.retire(uop.pv, now + self.period)
+
+    def _batch_tick(self, now):
+        """Execute the held broadcast µop on the whole lane array in one
+        step. Leader-and-mirror: while the lanes are converged, lane 0's
+        ready map / busy timer / FU pool are canonical for the array, so
+        one scalar-shaped issue decides — and charges — every lane at
+        once. Returns 'busy', 'empty', a Stall category, or ``_DIVERGE``
+        when the lanes can no longer act in lockstep (straggler VMU
+        fills), in which case nothing has been mutated yet and the caller
+        falls back to the per-lane path for this very tick."""
+        if self._batch_avail > now:
+            return "empty"
+        uop = self._batch_uop
+        ins = uop.ins
+        kind = uop.kind
+        lead = self.lanes[0]
+        if kind == LDWB:
+            seq = ins.seq
+            chime = uop.chime
+            expected = self._elem_expected.get(seq)
+            blocked = issuable = False
+            for i, lane in enumerate(self.lanes):
+                exp = expected.get((chime, i), 0) if expected else 0
+                if exp:
+                    a = lane.arrived.get((seq, chime))
+                    if a is None or a[0] < exp or a[1] > now:
+                        blocked = True
+                        continue
+                issuable = True
+            if blocked:
+                if not issuable:
+                    return Stall.RAW_MEM  # whole array waits on the VMU
+                return _DIVERGE  # straggler fills: lanes split this tick
+            vlu = self.vmu.vlu
+            for i in range(self.lanes_count):
+                exp = expected.get((chime, i), 0) if expected else 0
+                if exp:
+                    vlu.consume(i, exp)
+            extra = 1 if VOP_CLASS[ins.op] == VClass.MEM_INDEX else 0
+            r = now + (1 + extra) * self.period
+            lead.ready[(seq, chime)] = r
+            if r > self._l_hot[0]:
+                self._l_hot[0] = r
+            self._finish_batch(uop, now)
+            return "busy"
+        if kind == VXWRITE:
+            if not self.vxu.result_ready(ins.seq, now):
+                return Stall.XELEM
+            r = now + self.period
+            lead.ready[(ins.seq, uop.chime)] = r
+            if r > self._l_hot[0]:
+                self._l_hot[0] = r
+            for _ in range(self.lanes_count):
+                self.vxwrite_done(ins.seq)
+            self._finish_batch(uop, now)
+            return "busy"
+        # EXEC / STDATA / IDXADDR / VXREAD gate on the leader's state
+        stall = lead._deps_ready(ins, uop.chime, now)
+        if stall is not None:
+            return stall
+        if kind == EXEC:
+            if self._l_busy[0] > now:
+                return Stall.STRUCT
+            cls = VOP_CLASS[ins.op]
+            occ = self.pack_for(ins.ew) if cls in PACK_SERIALIZED else 1
+            lat = lead.fu.try_issue(_CLS_FU[cls], now, occupancy=occ)
+            if lat is None:
+                return Stall.STRUCT
+            P = self.period
+            self._l_busy[0] = now + occ * P
+            r = now + (occ - 1) * P + lat  # lat >= P, so r >= busy_until
+            lead.ready[(ins.seq, uop.chime)] = r
+            if r > self._l_hot[0]:
+                self._l_hot[0] = r
+            self._finish_batch(uop, now)
+            return "busy"
+        if kind == STDATA:
+            if self._l_busy[0] > now:
+                return Stall.STRUCT
+            P = self.period
+            r = now + P
+            self._l_busy[0] = r
+            if r > self._l_hot[0]:
+                self._l_hot[0] = r
+            at = now + 2 * P
+            seq = ins.seq
+            vsu = self.vmu.vsu
+            indexed = VOP_CLASS[ins.op] == VClass.MEM_INDEX
+            for i in range(self.lanes_count):
+                count = self.elem_count(seq, uop.chime, i)
+                vsu.credit(seq, count, at)
+                if indexed:
+                    self.vmu.credit_indexed(seq, count)
+            self._finish_batch(uop, now)
+            return "busy"
+        if kind == IDXADDR:
+            seq = ins.seq
+            for i in range(self.lanes_count):
+                self.vmu.credit_indexed(seq, self.elem_count(seq, uop.chime, i))
+            self._finish_batch(uop, now)
+            return "busy"
+        if kind == VXREAD:
+            at = now + self.period
+            for _ in range(self.lanes_count):
+                self.vxu.read_arrived(ins.seq, at)
+            self._finish_batch(uop, now)
+            return "busy"
+        raise ConfigError(f"unbatchable µop kind {kind} in batch mode")
+
+    def _batch_probe(self, now):
+        """Pure mirror of ``_batch_tick``: ``(status, bound)`` exactly as
+        the per-lane probes would report it for the converged array, with
+        status None (a veto) when the next tick would issue *or*
+        diverge — both mutate."""
+        if self._batch_avail > now:
+            return "empty", self._batch_avail
+        uop = self._batch_uop
+        ins = uop.ins
+        kind = uop.kind
+        lead = self.lanes[0]
+        if kind == LDWB:
+            seq = ins.seq
+            chime = uop.chime
+            expected = self._elem_expected.get(seq)
+            bound = _INF
+            issuable = False
+            for i, lane in enumerate(self.lanes):
+                exp = expected.get((chime, i), 0) if expected else 0
+                if exp:
+                    a = lane.arrived.get((seq, chime))
+                    if a is None or a[0] < exp:
+                        continue  # in flight: covered by the VMU's bound
+                    if a[1] > now:
+                        if a[1] < bound:
+                            bound = a[1]
+                        continue
+                issuable = True
+            if issuable:
+                return None, 0  # issue or divergence fallback next tick
+            return Stall.RAW_MEM, bound
+        if kind == VXWRITE:
+            if not self.vxu.result_ready(ins.seq, now):
+                return Stall.XELEM, self.vxu.next_event_ps(now)
+            return None, 0
+        chime = uop.chime
+        ready = lead.ready
+        for dep in ins.dep_ids:
+            t = ready.get((dep, chime))
+            if t is None:
+                t = ready.get((dep, 0), 0)
+            if t > now:
+                return self.seq_kind(dep), (t if t < _INF else _INF)
+        if kind in (EXEC, STDATA):
+            if self._l_busy[0] > now:
+                return Stall.STRUCT, self._l_busy[0]
+            if kind == EXEC:
+                t = lead.fu.next_free_ps(_CLS_FU[VOP_CLASS[ins.op]], now)
+                if t:
+                    return Stall.STRUCT, t
+        return None, 0
+
+    # ------------------------------------------------------------ scheduling
 
     def next_work_ps(self, now):
         """Earliest future ps at which the engine (VMU, lanes, broadcast,
@@ -591,14 +889,24 @@ class VLittleEngine:
         bound = self.vmu.next_work_ps(now)
         if bound <= now:
             return 0
-        for lane in self.lanes:
-            st, t = lane.probe(now)
-            if st is None:
-                return 0
-            if t <= now:
+        if self._batch_uop is not None:
+            # the whole lane array holds one µop: a single probe over the
+            # batch state replaces the per-lane probe loop
+            st, t = self._batch_probe(now)
+            if st is None or t <= now:
                 return 0
             if t < bound:
                 bound = t
+        elif self._n_latched:
+            for lane in self.lanes:
+                st, t = lane.probe(now)
+                if st is None:
+                    return 0
+                if t <= now:
+                    return 0
+                if t < bound:
+                    bound = t
+        # no latches at all: every lane is ('empty', _INF) — skip the loop
         reason, t = self._broadcast_probe(now)
         if reason is None:
             return 0
@@ -616,45 +924,91 @@ class VLittleEngine:
         ticks: per-lane and VCU stall attribution, VMU counters, and the
         per-cycle obs instruments."""
         self.vmu.skip_ticks(n, now)
-        statuses = [lane.probe(now)[0] for lane in self.lanes]
         reason = self._broadcast_probe(now)[0]
-        for lane, st in zip(self.lanes, statuses):
-            lane.breakdown.add(reason if st == "empty" else st, n)
+        statuses = None
+        if self._batch_uop is not None:
+            st = self._batch_probe(now)[0]
+            cat = reason if st == "empty" else st
+            self._bd_batch.add(cat, n * self.lanes_count)
+        elif self._n_latched:
+            statuses = [lane.probe(now)[0] for lane in self.lanes]
+            for lane, st in zip(self.lanes, statuses):
+                lane.breakdown.add(reason if st == "empty" else st, n)
+        else:
+            cat = reason  # every lane is empty: one shared charge
+            self._bd_batch.add(cat, n * self.lanes_count)
         o = self.obs
         if o is not None:
-            for u, st in zip(self._lane_obs, statuses):
-                u.cycle(reason if st == "empty" else st, n)
+            if statuses is None:
+                for u in self._lane_obs:
+                    u.cycle(cat, n)
+            else:
+                for u, st in zip(self._lane_obs, statuses):
+                    u.cycle(reason if st == "empty" else st, n)
             o.cycle(reason, n)  # no broadcast on an idle tick
             self._vxu_obs.cycle(self.vxu.cycle_category(now), n)
             self._obs_uopq.observe(len(self._uopq), n)
             self._obs_dataq.set(self._dataq_used, n)
             # queue depth is frozen during a skip: no counter event
 
+    # ------------------------------------------------------------------ tick
+
     def tick(self, now):
         self.vmu.tick(now)
-        statuses = [lane.tick(now) for lane in self.lanes]
+        if self._batch_uop is not None:
+            st = self._batch_tick(now)
+            if st is not _DIVERGE:
+                self._bcast_issued = False
+                reason = self._broadcast(now)
+                cat = (Stall.BUSY if st == "busy"
+                       else (reason if st == "empty" else st))
+                self._bd_batch.add(cat, self.lanes_count)
+                o = self.obs
+                if o is not None:
+                    for u in self._lane_obs:
+                        u.cycle(cat)
+                    self._tick_obs(o, reason, now)
+                return
+            # straggler fills split the array: materialize per-lane state
+            # and run this very tick on the scalar path below
+            self._fallback(now)
+        if self._n_latched:
+            statuses = [lane.tick(now) for lane in self.lanes]
+            self._bcast_issued = False
+            reason = self._broadcast(now)
+            for lane, st in zip(self.lanes, statuses):
+                if st == "busy":
+                    lane.breakdown.add(Stall.BUSY)
+                elif st == "empty":
+                    lane.breakdown.add(reason)
+                else:
+                    lane.breakdown.add(st)
+            o = self.obs
+            if o is not None:
+                for u, st in zip(self._lane_obs, statuses):
+                    u.cycle(Stall.BUSY if st == "busy"
+                            else (reason if st == "empty" else st))
+                self._tick_obs(o, reason, now)
+            return
+        # every lane is empty this tick: broadcast, one shared charge
         self._bcast_issued = False
         reason = self._broadcast(now)
-        for lane, st in zip(self.lanes, statuses):
-            if st == "busy":
-                lane.breakdown.add(Stall.BUSY)
-            elif st == "empty":
-                lane.breakdown.add(reason)
-            else:
-                lane.breakdown.add(st)
+        self._bd_batch.add(reason, self.lanes_count)
         o = self.obs
         if o is not None:
-            for u, lane, st in zip(self._lane_obs, self.lanes, statuses):
-                u.cycle(Stall.BUSY if st == "busy"
-                        else (reason if st == "empty" else st))
-            o.cycle(Stall.BUSY if self._bcast_issued else reason)
-            self._vxu_obs.cycle(self.vxu.cycle_category(now))
-            depth = len(self._uopq)
-            self._obs_uopq.observe(depth)
-            self._obs_dataq.set(self._dataq_used)
-            if depth != self._obs_last_uopq:
-                o.counter("uopq_depth", now, depth)
-                self._obs_last_uopq = depth
+            for u in self._lane_obs:
+                u.cycle(reason)
+            self._tick_obs(o, reason, now)
+
+    def _tick_obs(self, o, reason, now):
+        o.cycle(Stall.BUSY if self._bcast_issued else reason)
+        self._vxu_obs.cycle(self.vxu.cycle_category(now))
+        depth = len(self._uopq)
+        self._obs_uopq.observe(depth)
+        self._obs_dataq.set(self._dataq_used)
+        if depth != self._obs_last_uopq:
+            o.counter("uopq_depth", now, depth)
+            self._obs_last_uopq = depth
 
     def _broadcast(self, now):
         """Try to broadcast the head µop; returns the stall category idle
@@ -663,7 +1017,8 @@ class VLittleEngine:
             return Stall.MISC
         uop = self._uopq[0]
         if uop.kind == FENCE_MARK:
-            if self.vmu.idle() and all(l.latch is None for l in self.lanes):
+            if (self.vmu.idle() and self._batch_uop is None
+                    and self._n_latched == 0):
                 self._uopq.popleft()
                 if uop.pv is not None:
                     self._pv.retire(uop.pv, now)
@@ -679,12 +1034,46 @@ class VLittleEngine:
             if uop.kind == VXREAD and (not self.vxu.busy()):
                 c = self._cross[uop.ins.seq]
                 self.vxu.start(uop.ins.seq, c["nelems"], c["reads"], now=now)
-        targets = self.lanes if uop.lane_only is None else [self.lanes[uop.lane_only]]
+        if self._batch_uop is not None:
+            return Stall.SIMD  # the whole lane array is occupied
+        if uop.lane_only is None:
+            if self._n_latched:
+                return Stall.SIMD
+            if self.batched:
+                if self._diverged and max(self._l_hot) <= now:
+                    # re-converge: every lane's scalar state is entirely
+                    # in the past, so it is behaviorally indistinguishable
+                    # from the leader's — lockstep can resume
+                    self._diverged = False
+                if not self._diverged:
+                    self._batch_uop = uop
+                    self._batch_avail = now + self.period
+                    self._uopq.popleft()
+                    self._bcast_issued = True
+                    if uop.pv is not None:
+                        self._pv.stage(uop.pv, "Bc", now)
+                        uop.pv_left = self.lanes_count
+                    if self.obs is not None:
+                        self.obs.instant(f"uop:{UOP_NAMES[uop.kind]}", now,
+                                         {"seq": uop.ins.seq,
+                                          "chime": uop.chime})
+                    if id(uop) in self._dataq_release:
+                        self._dataq_release.discard(id(uop))
+                        self._dataq_used -= 1
+                    return Stall.MISC
+            targets = self.lanes
+        else:
+            if self.batched and not self._diverged:
+                # lane-only µops (MOVEXS, VXREDUCE) run on the per-lane
+                # path: leave batch mode first
+                self._fallback(now)
+            targets = [self.lanes[uop.lane_only]]
         if any(l.latch is not None for l in targets):
             return Stall.SIMD
         for l in targets:
             l.latch = uop
             l.avail = now + self.period
+        self._n_latched += len(targets)
         self._uopq.popleft()
         self._bcast_issued = True
         if uop.pv is not None:
@@ -705,7 +1094,9 @@ class VLittleEngine:
         out = Breakdown()
         for l in self.lanes:
             out = out.merged_with(l.breakdown)
-        return out
+        # lane-cycles charged by the batched executor (one shared charge
+        # of lanes_count per tick instead of one per lane)
+        return out.merged_with(self._bd_batch)
 
     def stats(self):
         out = {

@@ -533,10 +533,10 @@ class VLU:
             if self.lane_q_used[lane] + count > self.lane_q_elems:
                 self.lane_q_stalls += 1
                 return
-        for (chime, lane), count in req.deliveries:
+        for (_chime, lane), count in req.deliveries:
             self.lane_q_used[lane] += count
-            self.engine.deliver_load(req.seq, chime, lane, count,
-                                     now + self.engine.period)
+        self.engine.deliver_load_batch(req.seq, req.deliveries,
+                                       now + self.engine.period)
         self.pending.popleft()
         if req.pv is not None:
             self.engine.vmu._pv.retire(req.pv, now + self.engine.period)

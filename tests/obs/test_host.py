@@ -120,6 +120,27 @@ def test_format_table_lists_groups():
     assert len(top1.splitlines()) == 4  # header, rule, one row, total
 
 
+def test_lane_executor_split_under_vcu():
+    """The lanes sub-rows separate the chime-batched step from the
+    scalar fallback path: a clean batched run charges lane time to
+    ``vcu.lanes.batch``; the same run with batching forced off charges
+    it to ``vcu.lanes.scalar`` instead."""
+    hs = HostScope()
+    _run(hostscope=hs)
+    names = {g["group"] for g in hs.report()["groups"]}
+    assert "vcu.lanes.batch" in names
+
+    cfg = preset("1b-4VL")
+    program = _program_for(cfg, get_workload("saxpy", "tiny"))
+    sys_ = System(cfg)
+    sys_.engine.batched = False
+    hs2 = HostScope()
+    sys_.run(program, hostscope=hs2)
+    names2 = {g["group"] for g in hs2.report()["groups"]}
+    assert "vcu.lanes.scalar" in names2
+    assert "vcu.lanes.batch" not in names2
+
+
 def test_unit_group_mapping():
     assert unit_group("vcu", 2) == "vcu"
     assert unit_group("dve", 2) == "dve"
