@@ -301,7 +301,7 @@ Rows are shaded when the latest value moved more than
 
 # ------------------------------------------------------------------------ CLI
 
-def main(argv=None):
+def build_parser():
     import argparse
 
     ap = argparse.ArgumentParser(
@@ -332,7 +332,11 @@ def main(argv=None):
                     metavar="FRAC",
                     help="relative move that counts as a regression "
                          f"(default: {DEFAULT_THRESHOLD})")
-    args = ap.parse_args(argv)
+    return ap
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
 
     bench_paths = (args.bench if args.bench is not None
                    else find_bench_files())

@@ -19,6 +19,18 @@ A corrupted or truncated cache file is treated as a miss: the harness warns,
 counts it (``stats()["corrupt"]``, shown by ``bigvlittle cache stats``), and
 re-simulates rather than crashing.
 
+The disk level can be **sharded** by config-hash prefix
+(``shards=N`` > 0): entries land in ``<cache_dir>/<key[:N]>/<key>.json``
+instead of one flat directory, so a long-lived service holding hundreds of
+thousands of results never pays a single giant ``listdir`` and the shard
+directories are natural units for multi-host distribution.  A sharded
+cache still *reads* flat legacy entries (written by ``shards=0`` harness
+runs against the same directory), so pointing the sweep service at an
+existing ``results/cache`` loses nothing.  ``prune(max_bytes)`` evicts
+least-recently-touched entries (by file mtime) until the disk level fits
+the budget — shard-aware, counted in ``stats()["pruned"]`` and exposed as
+``bigvlittle cache prune --max-bytes N``.
+
 When sweep telemetry is enabled (:mod:`repro.experiments.telemetry`), every
 lookup also emits a ``cache_hit`` / ``cache_miss`` / ``cache_corrupt`` event
 on exactly the branches that bump the hit/miss counters, so a sweep's JSONL
@@ -52,15 +64,17 @@ def default_cache_dir():
 class ResultCache:
     """Two-level (memory + disk) cache keyed by full-config content hash."""
 
-    def __init__(self, cache_dir=None, disk=True, enabled=True):
+    def __init__(self, cache_dir=None, disk=True, enabled=True, shards=0):
         self.cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
         self.disk = disk
         self.enabled = enabled
+        self.shards = int(shards)  # hex-prefix length; 0 = flat legacy layout
         self._mem = {}
         self.hits = 0          # served from memory or disk
         self.disk_hits = 0     # subset of hits that came off disk
         self.misses = 0
         self.corrupt = 0       # disk files that failed to parse (each a miss)
+        self.pruned = 0        # entries evicted by prune(max_bytes)
 
     # ------------------------------------------------------------------ keys
 
@@ -75,8 +89,31 @@ class ResultCache:
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
-    def _path(self, key):
+    def path_for(self, key):
+        """On-disk path for ``key`` under the cache's current layout."""
+        if self.shards:
+            return os.path.join(self.cache_dir, key[: self.shards],
+                                f"{key}.json")
         return os.path.join(self.cache_dir, f"{key}.json")
+
+    # legacy private name, still used by older call sites
+    _path = path_for
+
+    def _flat_path(self, key):
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def _entry_paths(self):
+        """Every entry file on disk: the flat level plus one shard level."""
+        if not os.path.isdir(self.cache_dir):
+            return
+        for fn in sorted(os.listdir(self.cache_dir)):
+            p = os.path.join(self.cache_dir, fn)
+            if fn.endswith(".json"):
+                yield p
+            elif os.path.isdir(p):
+                for sub in sorted(os.listdir(p)):
+                    if sub.endswith(".json"):
+                        yield os.path.join(p, sub)
 
     # ---------------------------------------------------------------- lookup
 
@@ -94,7 +131,10 @@ class ResultCache:
                           load_wall_s=0.0)
             return self._mem[key]
         if self.disk:
-            path = self._path(key)
+            path = self.path_for(key)
+            if self.shards and not os.path.exists(path):
+                # a sharded cache still reads flat legacy entries in place
+                path = self._flat_path(key)
             if os.path.exists(path):
                 t0 = time.perf_counter()
                 try:
@@ -129,14 +169,19 @@ class ResultCache:
             return
         self._mem[key] = result
         if self.disk:
-            os.makedirs(self.cache_dir, exist_ok=True)
+            target = self.path_for(key)
+            target_dir = os.path.dirname(target)
+            os.makedirs(target_dir, exist_ok=True)
             record = {"sim_version": SIM_VERSION, "result": result.to_dict()}
-            # atomic write: parallel workers may race on the same key
-            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+            # atomic write: parallel workers may race on the same key, so the
+            # temp file lives in the *target* directory (same filesystem) and
+            # lands via an atomic rename — a reader sees the old complete
+            # file or the new complete file, never a torn one
+            fd, tmp = tempfile.mkstemp(dir=target_dir, suffix=".tmp")
             try:
                 with os.fdopen(fd, "w") as f:
                     json.dump(record, f)
-                os.replace(tmp, self._path(key))
+                os.replace(tmp, target)
             except BaseException:
                 try:
                     os.unlink(tmp)
@@ -147,31 +192,83 @@ class ResultCache:
     # ------------------------------------------------------------- lifecycle
 
     def clear(self):
-        """Empty both levels: the process dict and the on-disk files."""
+        """Empty both levels: the process dict and the on-disk files
+        (flat entries, shard directories, and stray temp files alike)."""
         self._mem.clear()
-        if os.path.isdir(self.cache_dir):
-            for fn in os.listdir(self.cache_dir):
-                if fn.endswith(".json") or fn.endswith(".tmp"):
-                    try:
-                        os.unlink(os.path.join(self.cache_dir, fn))
-                    except OSError:
-                        pass
+        if not os.path.isdir(self.cache_dir):
+            return
+        for fn in os.listdir(self.cache_dir):
+            p = os.path.join(self.cache_dir, fn)
+            if fn.endswith(".json") or fn.endswith(".tmp"):
+                try:
+                    os.unlink(p)
+                except OSError:
+                    pass
+            elif os.path.isdir(p):
+                for sub in os.listdir(p):
+                    if sub.endswith(".json") or sub.endswith(".tmp"):
+                        try:
+                            os.unlink(os.path.join(p, sub))
+                        except OSError:
+                            pass
+
+    def prune(self, max_bytes):
+        """Evict least-recently-touched disk entries until the disk level
+        fits ``max_bytes``.
+
+        LRU is approximated by file mtime (a disk hit does not rewrite the
+        file, so this is least-recently-*written*; a service whose hot keys
+        re-land via ``put`` keeps them fresh).  Shard-aware: entries are
+        collected across the flat level and every shard directory.  Evicted
+        keys are dropped from the memory level too, so a pruned entry is
+        really gone.  Returns ``{"removed", "bytes_freed", "disk_bytes"}``.
+        """
+        entries = []
+        total = 0
+        for p in self._entry_paths():
+            try:
+                st = os.stat(p)
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, p))
+            total += st.st_size
+        entries.sort()
+        removed = freed = 0
+        for mtime, size, p in entries:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(p)
+            except OSError:
+                continue
+            key = os.path.basename(p)[: -len(".json")]
+            self._mem.pop(key, None)
+            total -= size
+            freed += size
+            removed += 1
+        self.pruned += removed
+        return {"removed": removed, "bytes_freed": freed,
+                "disk_bytes": total}
 
     def stats(self):
         disk_entries = disk_bytes = 0
-        if self.disk and os.path.isdir(self.cache_dir):
-            for fn in os.listdir(self.cache_dir):
-                if fn.endswith(".json"):
-                    disk_entries += 1
-                    try:
-                        disk_bytes += os.path.getsize(
-                            os.path.join(self.cache_dir, fn))
-                    except OSError:
-                        pass
+        shard_dirs = set()
+        if self.disk:
+            for p in self._entry_paths():
+                disk_entries += 1
+                try:
+                    disk_bytes += os.path.getsize(p)
+                except OSError:
+                    pass
+                parent = os.path.dirname(p)
+                if parent != self.cache_dir.rstrip(os.sep):
+                    shard_dirs.add(parent)
         return {
             "dir": self.cache_dir,
             "enabled": self.enabled,
             "disk": self.disk,
+            "shards": self.shards,
+            "shard_dirs": len(shard_dirs),
             "memory_entries": len(self._mem),
             "disk_entries": disk_entries,
             "disk_bytes": disk_bytes,
@@ -179,6 +276,7 @@ class ResultCache:
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "corrupt": self.corrupt,
+            "pruned": self.pruned,
         }
 
 
@@ -202,7 +300,7 @@ def set_cache(cache):
     return _cache
 
 
-def configure(cache_dir=None, disk=None, enabled=None):
+def configure(cache_dir=None, disk=None, enabled=None, shards=None):
     """Tweak the global cache in place; returns it."""
     c = get_cache()
     if cache_dir is not None:
@@ -212,4 +310,6 @@ def configure(cache_dir=None, disk=None, enabled=None):
         c.disk = disk
     if enabled is not None:
         c.enabled = enabled
+    if shards is not None:
+        c.shards = int(shards)
     return c

@@ -8,7 +8,13 @@ processes; results land in the persistent cache under ``results/cache/``
 invocation resumes instead of re-simulating.  ``bigvlittle all --jobs N``
 is therefore one resumable, parallel full-paper reproduction.
 
-Cache maintenance: ``bigvlittle cache stats`` / ``bigvlittle cache clear``.
+Cache maintenance: ``bigvlittle cache stats`` / ``bigvlittle cache clear``
+/ ``bigvlittle cache prune --max-bytes N`` (LRU by file mtime, across all
+shards).
+
+Sweep service: ``bigvlittle serve [--port P] [--workers N]
+[--cache-root DIR]`` runs the async job queue + sharded cache + HTTP
+results API documented in ``docs/service.md``.
 
 Observability (see ``docs/observability.md``):
 
@@ -101,28 +107,11 @@ _TABLES = {
 }
 
 
-def main(argv=None):
-    argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] == "cache":
-        return _cache_main(argv[1:])
-    if argv and argv[0] in ("trace", "profile", "pipeview", "timeline",
-                            "phases"):
-        return _obs_main(argv[0], argv[1:])
-    if argv and argv[0] == "hostprof":
-        return _hostprof_main(argv[1:])
-    if argv and argv[0] == "critpath":
-        return _critpath_main(argv[1:])
-    if argv and argv[0] == "inspect":
-        return _inspect_main(argv[1:])
-    if argv and argv[0] == "bench-history":
-        return _bench_history_main(argv[1:])
-    if argv and argv[0] == "diff":
-        return _diff_main(argv[1:])
-
+def _experiments_parser():
     parser = argparse.ArgumentParser(
         prog="bigvlittle",
         description="Regenerate big.VLITTLE (MICRO 2022) evaluation results",
-        epilog="Result-cache maintenance: bigvlittle cache {stats,clear}",
+        epilog="Result-cache maintenance: bigvlittle cache {stats,clear,prune}",
     )
     parser.add_argument("experiment",
                     choices=sorted(_FIGS) + sorted(_TABLES) + sorted(_ABLATIONS) + ["all"])
@@ -144,7 +133,30 @@ def main(argv=None):
                         help="write a Chrome trace of the sweep (one track "
                              "per worker process; open at "
                              "https://ui.perfetto.dev)")
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
+    if argv and argv[0] in ("trace", "profile", "pipeview", "timeline",
+                            "phases"):
+        return _obs_main(argv[0], argv[1:])
+    if argv and argv[0] == "hostprof":
+        return _hostprof_main(argv[1:])
+    if argv and argv[0] == "critpath":
+        return _critpath_main(argv[1:])
+    if argv and argv[0] == "inspect":
+        return _inspect_main(argv[1:])
+    if argv and argv[0] == "bench-history":
+        return _bench_history_main(argv[1:])
+    if argv and argv[0] == "diff":
+        return _diff_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+
+    args = _experiments_parser().parse_args(argv)
 
     if args.no_cache:
         configure(enabled=False)
@@ -218,7 +230,7 @@ _OBS_DESCRIPTIONS = {
 }
 
 
-def _obs_main(verb, argv):
+def _obs_parser(verb):
     ap = argparse.ArgumentParser(
         prog=f"bigvlittle {verb}", description=_OBS_DESCRIPTIONS[verb])
     ap.add_argument("workload", help="workload name, e.g. saxpy, mmult, bfs")
@@ -276,7 +288,11 @@ def _obs_main(verb, argv):
         ap.add_argument("--little", default="l1", metavar="LEVEL",
                         help="little-core DVFS level for --energy "
                              "(default: l1)")
-    args = ap.parse_args(argv)
+    return ap
+
+
+def _obs_main(verb, argv):
+    args = _obs_parser(verb).parse_args(argv)
 
     from repro.experiments.runner import _program_for
     from repro.obs import IntervalSampler, Observation, PipeView
@@ -369,7 +385,7 @@ def _obs_main(verb, argv):
     return 0
 
 
-def _hostprof_main(argv):
+def _hostprof_parser():
     ap = argparse.ArgumentParser(
         prog="bigvlittle hostprof",
         description="Attribute host wall-time of one run to per-component "
@@ -389,7 +405,11 @@ def _hostprof_main(argv):
                     metavar="PATH",
                     help="write the bigvlittle-hostprof-v1 report as JSON to "
                          "PATH ('-' or no value: stdout) instead of the table")
-    args = ap.parse_args(argv)
+    return ap
+
+
+def _hostprof_main(argv):
+    args = _hostprof_parser().parse_args(argv)
 
     import repro
     from repro.experiments.runner import _program_for
@@ -428,7 +448,7 @@ def _hostprof_main(argv):
     return 0
 
 
-def _critpath_main(argv):
+def _critpath_parser():
     ap = argparse.ArgumentParser(
         prog="bigvlittle critpath",
         description="Attribute every advance of simulated time in one run "
@@ -445,7 +465,11 @@ def _critpath_main(argv):
                     metavar="PATH",
                     help="write the bigvlittle-critpath-v1 report as JSON to "
                          "PATH ('-' or no value: stdout) instead of the table")
-    args = ap.parse_args(argv)
+    return ap
+
+
+def _critpath_main(argv):
+    args = _critpath_parser().parse_args(argv)
 
     import repro
     from repro.experiments.runner import _program_for
@@ -484,7 +508,7 @@ def _critpath_main(argv):
     return 0
 
 
-def _inspect_main(argv):
+def _inspect_parser():
     ap = argparse.ArgumentParser(
         prog="bigvlittle inspect",
         description="Snapshot every unit's scheduling state — the "
@@ -506,7 +530,11 @@ def _inspect_main(argv):
                     help="write the bigvlittle-forensics-v1 report as JSON "
                          "to PATH ('-' or no value: stdout) instead of the "
                          "text rendering")
-    args = ap.parse_args(argv)
+    return ap
+
+
+def _inspect_main(argv):
+    args = _inspect_parser().parse_args(argv)
 
     from repro.errors import DeadlockError
     from repro.experiments.runner import _program_for
@@ -546,7 +574,7 @@ def _bench_history_main(argv):
     return bh_main(argv)
 
 
-def _diff_main(argv):
+def _diff_parser():
     ap = argparse.ArgumentParser(
         prog="bigvlittle diff",
         description="Classified stat diff of two run dumps (see bigvlittle "
@@ -570,7 +598,11 @@ def _diff_main(argv):
                          "overrides --rel-tol")
     ap.add_argument("--top", type=int, default=25, metavar="N",
                     help="show at most N deltas (default: 25)")
-    args = ap.parse_args(argv)
+    return ap
+
+
+def _diff_main(argv):
+    args = _diff_parser().parse_args(argv)
 
     from repro.obs.diff import ToleranceSchema, diff_files, diff_timeline_files
 
@@ -597,22 +629,144 @@ def _diff_main(argv):
     return 0
 
 
-def _cache_main(argv):
+def _cache_parser():
     ap = argparse.ArgumentParser(
         prog="bigvlittle cache",
-        description="Inspect or empty the persistent result cache")
-    ap.add_argument("action", choices=("stats", "clear"))
-    args = ap.parse_args(argv)
+        description="Inspect, empty, or LRU-prune the persistent result "
+                    "cache")
+    ap.add_argument("action", choices=("stats", "clear", "prune"))
+    ap.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                    help="prune: evict least-recently-used entries (by file "
+                         "mtime, across all shards) until the cache holds at "
+                         "most N bytes")
+    return ap
+
+
+def _cache_main(argv):
+    args = _cache_parser().parse_args(argv)
     cache = get_cache()
     if args.action == "clear":
         st = cache.stats()
         cache.clear()
         print(f"cleared {st['disk_entries']} cached results "
               f"({st['disk_bytes'] / 1024:.0f} KiB) from {st['dir']}")
+    elif args.action == "prune":
+        if args.max_bytes is None:
+            print("cache prune requires --max-bytes N", file=sys.stderr)
+            return 2
+        out = cache.prune(args.max_bytes)
+        print(f"pruned {out['removed']} cached results "
+              f"({out['bytes_freed'] / 1024:.0f} KiB); cache now holds "
+              f"{out['disk_bytes'] / 1024:.0f} KiB "
+              f"(limit {args.max_bytes / 1024:.0f} KiB)")
     else:
         for k, v in cache.stats().items():
             print(f"{k:16s} {v}")
     return 0
+
+
+def _serve_parser():
+    ap = argparse.ArgumentParser(
+        prog="bigvlittle serve",
+        description="Run the sweep service: an async job queue and worker "
+                    "pool over the sharded result cache, fronted by the "
+                    "bigvlittle-service-v1 HTTP/JSON API "
+                    "(see docs/service.md)")
+    ap.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default: 127.0.0.1)")
+    ap.add_argument("--port", type=int, default=8421,
+                    help="TCP port; 0 picks a free one (default: 8421)")
+    ap.add_argument("--workers", type=int, default=2, metavar="N",
+                    help="job-queue worker threads (default: 2)")
+    ap.add_argument("--cache-root", default="results", metavar="DIR",
+                    help="service state root: cache/, artifacts/, and the "
+                         "service/jobs.jsonl journal live under it "
+                         "(default: results)")
+    ap.add_argument("--shards", type=int, default=2, metavar="N",
+                    help="hex-prefix length sharding cache and artifact "
+                         "dirs (default: 2 = 256-way)")
+    ap.add_argument("--runner-jobs", type=int, default=1, metavar="N",
+                    help="simulation processes per worker's ParallelRunner "
+                         "sweep (default: 1 = in-process)")
+    ap.add_argument("--batch", type=int, default=4, metavar="N",
+                    help="max queued jobs one worker claims per sweep "
+                         "(default: 4)")
+    ap.add_argument("--max-retries", type=int, default=2, metavar="N",
+                    help="re-queue a crashed job at most N times before "
+                         "marking it failed (default: 2)")
+    ap.add_argument("--telemetry", metavar="PATH", default=None,
+                    help="append job_*/cache_*/run_* telemetry events "
+                         "(JSONL) to PATH while serving")
+    return ap
+
+
+def _serve_main(argv):
+    args = _serve_parser().parse_args(argv)
+
+    import signal
+
+    from repro.service import ServiceApp
+
+    app = ServiceApp(cache_root=args.cache_root, host=args.host,
+                     port=args.port, workers=args.workers,
+                     shards=args.shards, runner_jobs=args.runner_jobs,
+                     batch=args.batch, max_retries=args.max_retries,
+                     telemetry_path=args.telemetry)
+    app.start()
+    print(f"sweep service on http://{args.host}:{app.port} "
+          f"({args.workers} workers, cache root {args.cache_root}) — "
+          f"Ctrl-C drains and exits")
+    stop = {"flag": False}
+
+    def _sigterm(signum, frame):
+        stop["flag"] = True
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        while not stop["flag"]:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    print("draining in-flight jobs ...")
+    app.stop(drain=True)
+    st = app.queue.stats()
+    print(f"stopped: {st['counters']['done']} jobs done, "
+          f"{st['counters']['failed']} failed, "
+          f"{st['pending']} still queued for the next start")
+    return 0
+
+
+#: every named verb `bigvlittle <verb> ...` dispatches on (the bare
+#: `bigvlittle <experiment>` form is the "" entry of the registry)
+NAMED_VERBS = ("cache", "serve", "trace", "profile", "pipeview", "timeline",
+               "phases", "hostprof", "critpath", "inspect", "bench-history",
+               "diff")
+
+
+def cli_registry():
+    """Verb -> fully built ``ArgumentParser`` for the whole CLI surface.
+
+    ``tools/docs_check.py`` walks this to cross-check the documentation:
+    every verb and flag the docs mention must exist here, and every verb
+    here must appear in the docs.  The ``""`` entry is the positional
+    experiment parser (``bigvlittle fig7 --jobs 4 ...``).
+    """
+    from repro.experiments.benchhistory import build_parser as bh_parser
+
+    registry = {
+        "": _experiments_parser(),
+        "cache": _cache_parser(),
+        "serve": _serve_parser(),
+        "hostprof": _hostprof_parser(),
+        "critpath": _critpath_parser(),
+        "inspect": _inspect_parser(),
+        "bench-history": bh_parser(),
+        "diff": _diff_parser(),
+    }
+    for verb in _OBS_DESCRIPTIONS:
+        registry[verb] = _obs_parser(verb)
+    assert set(registry) - {""} == set(NAMED_VERBS)
+    return registry
 
 
 def _jsonable(obj):

@@ -86,6 +86,7 @@ class ParallelRunner:
         self.use_cache = use_cache
         self.cache = cache if cache is not None else get_cache()
         self._summary = None
+        self._levels = None
 
     # ------------------------------------------------------------------- run
 
@@ -94,6 +95,7 @@ class ParallelRunner:
         requests = list(requests)
         t0 = time.perf_counter()
         results = [None] * len(requests)
+        levels = [None] * len(requests)  # per-request cache-hit level
         hits = 0
         load_wall = 0.0
         # a disabled parent cache means fully cacheless (workers included)
@@ -112,6 +114,9 @@ class ParallelRunner:
             if hit is not None:
                 if self.cache.disk_hits > dh0:
                     load_wall += hit.timing.get("load_wall_s", 0.0)
+                    levels[i] = "disk"
+                else:
+                    levels[i] = "memory"
                 results[i] = hit
                 hits += 1
                 continue
@@ -135,6 +140,7 @@ class ParallelRunner:
                 self.cache.put(key, result)
             for i in idxs:
                 results[i] = result
+                levels[i] = "fresh"
             if progress:
                 self._log(f"[{done}/{n_sim}] {req.label()} simulated in "
                           f"{result.timing.get('wall_s', 0.0):.2f}s")
@@ -189,7 +195,13 @@ class ParallelRunner:
                 finish(key, req, idxs, result)
 
         wall = time.perf_counter() - t0
+        self._levels = levels
+        level_counts = {}
+        for lv in levels:
+            if lv is not None:
+                level_counts[lv] = level_counts.get(lv, 0) + 1
         self._summary = {
+            "levels": level_counts,
             "requests": len(requests),
             "cache_hits": hits,
             "simulated": n_sim,
@@ -217,6 +229,14 @@ class ParallelRunner:
     def summary(self):
         """Stats from the most recent :meth:`run`."""
         return dict(self._summary) if self._summary else None
+
+    def levels(self):
+        """Per-request cache-hit levels from the most recent :meth:`run`,
+        aligned with its inputs: ``"memory"``, ``"disk"``, or ``"fresh"``
+        (every request is ``"fresh"`` under ``use_cache=False``).  The
+        sweep service forwards these so every API response says how hot
+        its path was."""
+        return list(self._levels) if self._levels is not None else None
 
     @staticmethod
     def _log(msg):

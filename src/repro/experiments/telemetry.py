@@ -22,7 +22,17 @@ Event vocabulary (all carry ``ts``, wall-clock seconds since the epoch):
                   ``level`` (``fresh``/``disk``), ``cycles``
 ``worker_busy``   ``worker``, ``label``, ``t_start``, ``t_end``, ``dur_s``
 ``sweep_end``     the runner's summary dict
+``job_enqueued``  ``job``, ``runs``, ``keys`` (sweep-service submit)
+``job_start``     ``job``, ``worker`` (a service worker claimed the job)
+``job_done``      ``job``, ``ok``, ``levels`` (per-key cache-hit levels)
+``job_retry``     ``job``, ``attempt``, ``error``, ``backoff_s``
 ========== ===========================================================
+
+The ``job_*`` family is emitted by :mod:`repro.service.jobs` on exactly
+the branches that bump the queue's own counters (``enqueued`` /
+``started`` / ``done`` + ``failed`` / ``retried``), the same contract
+the ``cache_*`` events keep with :meth:`ResultCache.stats` — a service
+telemetry log reconciles with ``JobQueue.counters`` to the event.
 
 Telemetry is a process-global opt-in, mirroring the cache:
 :func:`enable` installs a sink, :func:`current` is what the cache /
@@ -41,7 +51,8 @@ import time
 
 #: event names a well-formed sweep log may contain
 EVENTS = ("sweep_start", "cache_hit", "cache_miss", "cache_corrupt",
-          "run_start", "run_end", "worker_busy", "sweep_end")
+          "run_start", "run_end", "worker_busy", "sweep_end",
+          "job_enqueued", "job_start", "job_done", "job_retry")
 
 
 class SweepTelemetry:

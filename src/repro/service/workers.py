@@ -1,0 +1,154 @@
+"""Async worker pool that drains the sweep-service job queue.
+
+Each worker is a thread that claims up to ``batch`` jobs at a time and
+pushes *all* their run specs through one :class:`ParallelRunner` sweep —
+so the queue's FIFO batching composes with the runner's key-level dedup:
+two queued jobs that share a config simulate it once, and a warm cache
+turns a whole batch into pure lookups.  The runner's per-request
+cache-hit levels (:meth:`ParallelRunner.levels`) are sliced back per job
+so every completed job records how hot each of its keys was.
+
+Failure handling honors the service robustness contract:
+
+* a multi-job batch that raises falls back to per-job execution, so one
+  poisoned config cannot take healthy neighbors down with it;
+* a single job that raises is re-queued with capped exponential backoff
+  (``backoff_s * 2**retries``, capped at ``backoff_cap_s``) until
+  ``max_retries`` is exhausted, then marked failed — every attempt is a
+  ``job_retry`` telemetry event and journal line;
+* ``stop(drain=True)`` closes the queue (new submits get 503), lets the
+  workers finish everything already queued, then joins the threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.experiments.parallel import ParallelRunner, RunRequest
+from repro.log import get_logger
+
+_logger = get_logger("repro.service.workers")
+
+
+class WorkerPool:
+    """Threads that claim, batch, execute, and retry queued jobs."""
+
+    def __init__(self, queue, workers=2, runner_jobs=1, batch=4,
+                 max_retries=2, backoff_s=0.1, backoff_cap_s=2.0,
+                 artifact_store=None, sleep=time.sleep):
+        self.queue = queue
+        self.workers = max(1, int(workers))
+        self.runner_jobs = max(1, int(runner_jobs))
+        self.batch = max(1, int(batch))
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.artifacts = artifact_store
+        self._sleep = sleep          # injectable so tests don't wait
+        self._threads = []
+        self._stop = threading.Event()
+        self.executed = 0            # jobs this pool ran to a terminal state
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self):
+        if self._threads:
+            raise RuntimeError("worker pool already started")
+        for i in range(self.workers):
+            t = threading.Thread(target=self._loop,
+                                 name=f"svc-worker-{i}", daemon=True)
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def stop(self, drain=True):
+        """Shut the pool down.
+
+        ``drain=True`` (the graceful path) closes the queue first — new
+        submissions 503 — and lets workers finish every queued job before
+        joining; ``drain=False`` asks workers to stop after their current
+        batch, leaving the rest queued (the journal re-queues them on the
+        next start).
+        """
+        if not drain:
+            self._stop.set()
+        self.queue.close()   # wakes blocked claimers; claim returns []
+        for t in self._threads:
+            t.join()
+        self._threads = []
+
+    @property
+    def alive(self):
+        return sum(1 for t in self._threads if t.is_alive())
+
+    def stats(self):
+        return {"workers": self.workers, "alive": self.alive,
+                "runner_jobs": self.runner_jobs, "batch": self.batch,
+                "max_retries": self.max_retries, "executed": self.executed}
+
+    # ------------------------------------------------------------- execution
+
+    def _loop(self):
+        while not self._stop.is_set():
+            jobs = self.queue.claim_batch(self.batch, timeout=0.2)
+            if not jobs:
+                if self.queue.closed and not self.queue.pending():
+                    return
+                continue
+            if len(jobs) == 1:
+                self._run_job(jobs[0])
+                continue
+            try:
+                self._execute(jobs)
+            except Exception as exc:  # batch poisoned: isolate per job
+                _logger.info(f"[service] batch of {len(jobs)} failed "
+                             f"({exc}); retrying jobs individually")
+                for job in jobs:
+                    self._run_job(job)
+            else:
+                self.executed += len(jobs)
+
+    def _run_job(self, job):
+        """Execute one claimed job; on failure either re-queue it with
+        backoff (the claim loop — any worker's — picks it up again, so
+        each attempt gets its own ``job_start``) or mark it failed once
+        retries are exhausted."""
+        try:
+            self._execute([job])
+        except Exception as exc:
+            if job.retries >= self.max_retries:
+                self.queue.fail(job, exc)
+                self.executed += 1
+                return
+            backoff = min(self.backoff_s * (2 ** job.retries),
+                          self.backoff_cap_s)
+            self._sleep(backoff)
+            self.queue.requeue(job, exc, backoff_s=backoff)
+        else:
+            self.executed += 1
+
+    def _execute(self, jobs):
+        """Run every spec of ``jobs`` through one ParallelRunner sweep,
+        then complete each job with its per-key cache levels and any
+        requested simulation-backed artifacts."""
+        requests = []
+        slices = []  # (job, start, end) into the flat request list
+        for job in jobs:
+            start = len(requests)
+            requests.extend(
+                RunRequest(system=spec["system"], workload=spec["workload"],
+                           scale=spec["scale"],
+                           overrides=dict(spec.get("overrides", {})))
+                for spec in job.runs)
+            slices.append((job, start, len(requests)))
+        runner = ParallelRunner(jobs=self.runner_jobs, cache=self.queue.cache)
+        runner.run(requests)
+        levels = runner.levels() or [None] * len(requests)
+        for job, start, end in slices:
+            job_levels = dict(zip(job.keys, levels[start:end]))
+            if self.artifacts is not None and job.artifacts:
+                for key, spec in zip(job.keys, job.runs):
+                    self.artifacts.generate_simulated(key, spec,
+                                                      job.artifacts)
+            self.queue.complete(job, levels=job_levels)

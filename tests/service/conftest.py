@@ -1,0 +1,30 @@
+"""Fixtures for sweep-service tests."""
+
+import pytest
+
+
+@pytest.fixture
+def run_spy(monkeypatch):
+    """Count every ``System.run`` invocation (any import site)."""
+    from repro.soc.system import System
+
+    calls = {"n": 0}
+    real_run = System.run
+
+    def counting_run(self, *a, **kw):
+        calls["n"] += 1
+        return real_run(self, *a, **kw)
+
+    monkeypatch.setattr(System, "run", counting_run)
+    return calls
+
+
+@pytest.fixture
+def service_app(tmp_path):
+    """A live ServiceApp (1 worker, ephemeral port) that always stops."""
+    from repro.service import ServiceApp
+
+    app = ServiceApp(cache_root=str(tmp_path / "svc"), port=0, workers=1,
+                     backoff_s=0.01).start()
+    yield app
+    app.stop(drain=True)

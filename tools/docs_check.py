@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Docs <-> CLI drift lint.
+
+Walks every ``bigvlittle ...`` command the documentation shows (inline
+code spans and fenced code blocks in README.md, EXPERIMENTS.md, and
+docs/*.md) and cross-checks it against the live argparse tree
+(:func:`repro.experiments.cli.cli_registry`):
+
+* every verb a doc invokes must exist (a named verb, an experiment
+  name, or ``all``);
+* every ``--flag`` a doc shows must be accepted by that verb's parser;
+* conversely, every named verb must be demonstrated somewhere in the
+  docs — a shipped-but-undocumented verb fails the build;
+* ``docs/service.md`` must mention every ``bigvlittle serve`` flag and
+  every API endpoint in :data:`repro.service.schemas.ENDPOINTS`.
+
+Tokens containing shell placeholders (``<PATH>``, ``{stats,clear}``,
+``$VAR``, globs) are skipped; pipelines are cut at the first shell
+operator.  Exit status 0 = docs and CLI agree; 1 = drift, one line per
+finding.
+
+Run from the repo root: ``python tools/docs_check.py`` (CI does).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.cli import NAMED_VERBS, cli_registry  # noqa: E402
+from repro.service.schemas import ENDPOINTS  # noqa: E402
+
+DOC_FILES = ("README.md", "EXPERIMENTS.md")
+DOC_GLOB_DIR = "docs"
+SHELL_OPERATORS = {"|", "||", "&&", ";", ">", ">>", "2>", "<"}
+PLACEHOLDER_CHARS = set("<>{}*$")
+
+
+def doc_paths(root):
+    paths = [os.path.join(root, f) for f in DOC_FILES]
+    docs_dir = os.path.join(root, DOC_GLOB_DIR)
+    if os.path.isdir(docs_dir):
+        paths.extend(os.path.join(docs_dir, f)
+                     for f in sorted(os.listdir(docs_dir))
+                     if f.endswith(".md"))
+    return [p for p in paths if os.path.exists(p)]
+
+
+def code_lines(text):
+    """Yield (line_number, code_text) for inline spans and fenced blocks."""
+    fence = False
+    for i, line in enumerate(text.splitlines(), 1):
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            fence = not fence
+            continue
+        if fence:
+            yield i, line
+        else:
+            for span in re.findall(r"`([^`]+)`", line):
+                yield i, span
+
+
+def commands_in(text):
+    """Yield (line_number, [token, ...]) for every bigvlittle invocation."""
+    lines = list(code_lines(text))
+    for idx, (lineno, code) in enumerate(lines):
+        # join backslash continuations within fenced blocks
+        while code.rstrip().endswith("\\") and idx + 1 < len(lines):
+            idx += 1
+            code = code.rstrip()[:-1] + " " + lines[idx][1]
+        for m in re.finditer(r"\bbigvlittle\s+(.*)", code):
+            tokens = []
+            for tok in m.group(1).split():
+                if tok in SHELL_OPERATORS:
+                    break
+                tokens.append(tok.strip("[](),'\""))
+            if tokens:
+                yield lineno, tokens
+
+
+def parser_flags(parser):
+    return {opt for action in parser._actions
+            for opt in action.option_strings if opt.startswith("--")}
+
+
+def experiment_names(registry):
+    for action in registry[""]._actions:
+        if action.choices:
+            return set(action.choices)
+    return set()
+
+
+def check_docs(root):
+    registry = cli_registry()
+    experiments = experiment_names(registry)
+    problems = []
+    verbs_seen = set()
+
+    for path in doc_paths(root):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for lineno, tokens in commands_in(text):
+            verb = tokens[0]
+            if PLACEHOLDER_CHARS & set(verb):
+                continue
+            if verb in registry and verb:
+                parser = registry[verb]
+                verbs_seen.add(verb)
+            elif verb in experiments:
+                parser = registry[""]
+            elif verb.startswith("--"):
+                parser = registry[""]
+                tokens = [None] + tokens  # flags straight after `bigvlittle`
+            else:
+                problems.append(f"{rel}:{lineno}: unknown bigvlittle verb "
+                                f"{verb!r}")
+                continue
+            allowed = parser_flags(parser)
+            for tok in tokens[1:]:
+                if tok is None or not tok.startswith("--"):
+                    continue
+                flag = tok.split("=", 1)[0]
+                if PLACEHOLDER_CHARS & set(flag):
+                    continue
+                if flag not in allowed:
+                    problems.append(
+                        f"{rel}:{lineno}: 'bigvlittle {verb}' does not "
+                        f"accept {flag!r}")
+
+    for verb in NAMED_VERBS:
+        if verb not in verbs_seen:
+            problems.append(f"verb {verb!r} is implemented but never "
+                            f"demonstrated in the docs")
+
+    service_md = os.path.join(root, "docs", "service.md")
+    if not os.path.exists(service_md):
+        problems.append("docs/service.md is missing")
+    else:
+        with open(service_md, encoding="utf-8") as f:
+            service_text = f.read()
+        for flag in sorted(parser_flags(registry["serve"]) - {"--help"}):
+            if flag not in service_text:
+                problems.append(f"docs/service.md: 'bigvlittle serve' flag "
+                                f"{flag!r} is undocumented")
+        for method, endpoint, _ in ENDPOINTS:
+            if endpoint not in service_text:
+                problems.append(f"docs/service.md: endpoint '{method} "
+                                f"{endpoint}' is undocumented")
+    return problems
+
+
+def main():
+    root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+    problems = check_docs(root)
+    for p in problems:
+        print(f"docs_check: {p}")
+    if problems:
+        print(f"docs_check: {len(problems)} problem(s)")
+        return 1
+    print("docs_check: docs and CLI agree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
